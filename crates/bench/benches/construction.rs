@@ -1,0 +1,75 @@
+//! Criterion benchmarks for private-structure construction: the Theorem 1/2
+//! pipelines and the fast q-gram algorithm of Theorem 4 (whose
+//! `O(nℓ(log q + log|Σ|))` claim is experiment `t4_scaling`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_private_count::{
+    build_approx, build_pure, build_qgram_fast, BuildParams, CountMode, FastQgramParams,
+};
+use dpsc_textindex::CorpusIndex;
+use dpsc_workloads::{dna_corpus, markov_corpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_build");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(10);
+        let db = markov_corpus(n, 32, 4, 0.7, &mut rng);
+        let idx = CorpusIndex::build(&db);
+        let tau = 0.6 * n as f64;
+        let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(4.0), 0.1)
+            .with_thresholds(tau, tau);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &idx, |b, idx| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| build_pure(black_box(idx), &params, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_build");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let mut rng = StdRng::seed_from_u64(12);
+        let db = markov_corpus(n, 32, 4, 0.7, &mut rng);
+        let idx = CorpusIndex::build(&db);
+        let tau = 0.4 * n as f64;
+        let params =
+            BuildParams::new(CountMode::Document, PrivacyParams::approx(4.0, 1e-6), 0.1)
+                .with_thresholds(tau, tau);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &idx, |b, idx| {
+            let mut rng = StdRng::seed_from_u64(13);
+            b.iter(|| build_approx(black_box(idx), &params, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem4_qgram_build");
+    group.sample_size(10);
+    for &n in &[1000usize, 4000, 16000] {
+        let mut rng = StdRng::seed_from_u64(14);
+        let corpus = dna_corpus(n, 64, 8, &[0.8], &mut rng);
+        let idx = CorpusIndex::build(&corpus.db);
+        let params = FastQgramParams {
+            q: 8,
+            mode: CountMode::Document,
+            privacy: PrivacyParams::approx(4.0, 1e-6),
+            beta: 0.1,
+            tau_override: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n * 64), &idx, |b, idx| {
+            let mut rng = StdRng::seed_from_u64(15);
+            b.iter(|| build_qgram_fast(black_box(idx), &params, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem1, bench_theorem2, bench_theorem4);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark for the `O(|P|)` query claim (experiment
+//! QUERY-time): query latency on a published structure must grow linearly
+//! in pattern length and be independent of the database size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_private_count::{build_pure, BuildParams, CountMode, PrivateCountStructure};
+use dpsc_textindex::CorpusIndex;
+use dpsc_workloads::markov_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_structure(n: usize, ell: usize) -> (PrivateCountStructure, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(20);
+    let db = markov_corpus(n, ell, 4, 0.85, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    // Low thresholds at huge ε so the trie is deep and queries traverse
+    // long paths (query cost is what we measure, not privacy here).
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e6), 0.1)
+        .with_thresholds(5.0, 5.0);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
+    let probe = db.documents()[0].clone();
+    (s, probe)
+}
+
+fn bench_query_by_pattern_length(c: &mut Criterion) {
+    let (s, probe) = build_structure(256, 64);
+    let mut group = c.benchmark_group("query_vs_pattern_length");
+    for &len in &[1usize, 4, 16, 64] {
+        let pat = probe[..len.min(probe.len())].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &pat, |b, pat| {
+            b.iter(|| s.query(black_box(pat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_vs_database_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_vs_database_size");
+    for &n in &[64usize, 512, 4096] {
+        let (s, probe) = build_structure(n, 32);
+        let pat = probe[..8].to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pat, |b, pat| {
+            b.iter(|| s.query(black_box(pat)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let (s, _) = build_structure(256, 64);
+    c.bench_function("mine_full_structure", |b| {
+        b.iter(|| s.mine(black_box(50.0)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_query_by_pattern_length,
+    bench_query_vs_database_size,
+    bench_mining
+);
+criterion_main!(benches);

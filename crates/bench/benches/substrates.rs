@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks for the substrate layers: suffix array
+//! construction, corpus indexing, pattern lookup, and the binary-tree
+//! mechanism.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsc_dpcore::noise::Noise;
+use dpsc_dpcore::tree_mechanism::BinaryTreeMechanism;
+use dpsc_strkit::suffix_array::SuffixArray;
+use dpsc_textindex::CorpusIndex;
+use dpsc_workloads::markov_corpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_suffix_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suffix_array_sais");
+    for &n in &[1usize << 12, 1 << 14, 1 << 16] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = markov_corpus(n / 64, 64, 4, 0.7, &mut rng);
+        let text: Vec<u8> = db.documents().iter().flatten().copied().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &text, |b, text| {
+            b.iter(|| SuffixArray::from_bytes(black_box(text)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus_index_build");
+    group.sample_size(20);
+    for &n in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = markov_corpus(n, 64, 4, 0.7, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n * 64), &db, |b, db| {
+            b.iter(|| CorpusIndex::build(black_box(db)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_lookup(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let db = markov_corpus(1024, 64, 4, 0.7, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    let pattern = db.documents()[0][..16].to_vec();
+    let mut group = c.benchmark_group("pattern_lookup");
+    group.bench_function("count", |b| {
+        b.iter(|| idx.count(black_box(&pattern)));
+    });
+    group.bench_function("count_clipped_delta4", |b| {
+        b.iter(|| idx.count_clipped(black_box(&pattern), 4));
+    });
+    group.bench_function("document_count", |b| {
+        b.iter(|| idx.document_count(black_box(&pattern)));
+    });
+    group.finish();
+}
+
+fn bench_tree_mechanism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_tree_mechanism");
+    for &t in &[256usize, 4096, 65536] {
+        let seq: Vec<f64> = (0..t).map(|i| (i % 7) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("build", t), &seq, |b, seq| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| {
+                BinaryTreeMechanism::build(
+                    black_box(seq),
+                    Noise::Laplace { b: 3.0 },
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suffix_array,
+    bench_corpus_index,
+    bench_pattern_lookup,
+    bench_tree_mechanism
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Experiments T8/T9: generic DP counting on trees vs the baselines, and
+//! colored tree counting.
+
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_hierarchy::tree_counting::{
+    baseline_noisy_leaf_sum, baseline_per_node_laplace, private_tree_counts_approx,
+    private_tree_counts_pure, TreeSensitivity,
+};
+use dpsc_hierarchy::{ColoredUniverse, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{loglog_slope, mean, run_trials, Table};
+
+/// T8-tree: Theorem 8 vs the per-node-Laplace and noisy-leaf-sum baselines
+/// as tree depth grows; Theorem 8's error stays polylog while per-node
+/// scales with h.
+pub fn t8_tree() -> Table {
+    let mut t = Table::new(
+        "t8_tree",
+        "Counting on trees (Theorem 8, ε = 1, d = 2): mean |err| per node on path-shaped trees of growing depth",
+        &["depth h", "Thm8 mean err", "per-node Laplace mean err", "leaf-sum root err", "Thm8 analytic α"],
+    );
+    let sens = TreeSensitivity { leaf_l1: 2.0, per_node: 1.0 };
+    let depths = [256usize, 1024, 4096, 16384];
+    let mut ours = Vec::new();
+    let mut pernode = Vec::new();
+    for &h in &depths {
+        let tree = Tree::path(h);
+        let counts: Vec<u64> = vec![1000u64; h];
+        let results = run_trials(6, 10_000 + h as u64, |_i, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let est = private_tree_counts_pure(
+                &tree,
+                &counts,
+                sens,
+                PrivacyParams::pure(1.0),
+                0.1,
+                &mut rng,
+            );
+            let bl = baseline_per_node_laplace(&tree, &counts, 2.0, 1.0, &mut rng);
+            let ls = baseline_noisy_leaf_sum(&tree, &counts, 2.0, 1.0, &mut rng);
+            let e1: f64 = est
+                .values
+                .iter()
+                .zip(&counts)
+                .map(|(v, &c)| (v - c as f64).abs())
+                .sum::<f64>()
+                / h as f64;
+            let e2: f64 = bl
+                .iter()
+                .zip(&counts)
+                .map(|(v, &c)| (v - c as f64).abs())
+                .sum::<f64>()
+                / h as f64;
+            let e3 = (ls[0] - counts[0] as f64).abs();
+            (e1, e2, e3, est.error_bound)
+        });
+        let e1 = mean(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let e2 = mean(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let e3 = mean(&results.iter().map(|r| r.2).collect::<Vec<_>>());
+        ours.push(e1);
+        pernode.push(e2);
+        t.row(vec![
+            h.to_string(),
+            format!("{:.0}", e1),
+            format!("{:.0}", e2),
+            format!("{:.0}", e3),
+            format!("{:.0}", results[0].3),
+        ]);
+    }
+    let xs: Vec<f64> = depths.iter().map(|&d| d as f64).collect();
+    t.note(format!(
+        "fitted exponents in h: Theorem 8 ≈ h^{:.2} (paper: polylog ⇒ ≈0), per-node Laplace ≈ h^{:.2} (scales linearly). Leaf-sum is exact at leaves but its root error is the path total.",
+        loglog_slope(&xs, &ours),
+        loglog_slope(&xs, &pernode),
+    ));
+    t
+}
+
+/// T9-colored: colored tree counting — the (ε,δ) Gaussian variant beats the
+/// pure variant, on a realistic hierarchy.
+pub fn t9_colored() -> Table {
+    let mut t = Table::new(
+        "t9_colored",
+        "Colored tree counting (distinct colors below each node), complete binary tree: Theorem 9 vs Theorem 8 (ε = 1)",
+        &["height", "nodes", "Thm8 max err", "Thm9 max err (δ=1e-6)", "Thm8 α", "Thm9 α"],
+    );
+    for &height in &[6usize, 8, 10] {
+        let tree = Tree::complete_kary(2, height);
+        let leaves = tree.leaves();
+        let mut rng = StdRng::seed_from_u64(11_000 + height as u64);
+        let u = leaves.len() * 8;
+        let leaf_of: Vec<u32> = (0..u).map(|i| leaves[i % leaves.len()]).collect();
+        let color_of: Vec<u32> = (0..u).map(|_| rng.gen_range(0..4096)).collect();
+        let universe = ColoredUniverse::new(tree, leaf_of, color_of);
+        let dataset: Vec<u32> = (0..u * 4).map(|_| rng.gen_range(0..u as u32)).collect();
+        let exact = universe.colored_counts(&dataset);
+
+        let results = run_trials(5, 12_000 + height as u64, |_i, seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pure = private_tree_counts_pure(
+                universe.tree(),
+                &exact,
+                ColoredUniverse::replace_one_sensitivity(),
+                PrivacyParams::pure(1.0),
+                0.1,
+                &mut rng,
+            );
+            let approx = private_tree_counts_approx(
+                universe.tree(),
+                &exact,
+                ColoredUniverse::replace_one_sensitivity(),
+                PrivacyParams::approx(1.0, 1e-6),
+                0.1,
+                &mut rng,
+            );
+            (
+                pure.max_error(&exact),
+                approx.max_error(&exact),
+                pure.error_bound,
+                approx.error_bound,
+            )
+        });
+        t.row(vec![
+            height.to_string(),
+            universe.tree().n().to_string(),
+            format!("{:.0}", mean(&results.iter().map(|r| r.0).collect::<Vec<_>>())),
+            format!("{:.0}", mean(&results.iter().map(|r| r.1).collect::<Vec<_>>())),
+            format!("{:.0}", results[0].2),
+            format!("{:.0}", results[0].3),
+        ]);
+    }
+    t.note("with d = 2 and Δ = 1 the √(dΔ log)-scaled Gaussian noise of Theorem 9 beats Theorem 8's d·log Laplace noise; both stay within their analytic α.");
+    t
+}

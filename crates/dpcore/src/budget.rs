@@ -1,0 +1,199 @@
+//! Privacy parameters and composition accounting.
+//!
+//! The paper's constructions repeatedly *split* a privacy budget across
+//! sub-algorithms (e.g. `ε₁ = ε/(⌊log ℓ⌋+1)` per doubling level in Lemma 6,
+//! `ε' = ε/3` across Steps 1/3/4) and rely on **simple composition**
+//! (Lemma 1): running an `(ε₁,δ₁)`-DP and an `(ε₂,δ₂)`-DP algorithm in
+//! sequence is `(ε₁+ε₂, δ₁+δ₂)`-DP. [`PrivacyParams`] encodes `(ε, δ)`,
+//! and [`BudgetAccountant`] enforces at runtime that a pipeline never spends
+//! more than it was given — an executable version of the paper's composition
+//! arguments.
+
+use std::fmt;
+
+/// An `(ε, δ)` differential-privacy guarantee. `δ = 0` is pure DP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    /// The multiplicative privacy-loss bound `ε > 0`.
+    pub epsilon: f64,
+    /// The additive slack `δ ∈ [0, 1)`.
+    pub delta: f64,
+}
+
+impl PrivacyParams {
+    /// Pure `ε`-DP.
+    pub fn pure(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        Self { epsilon, delta: 0.0 }
+    }
+
+    /// Approximate `(ε, δ)`-DP with `δ > 0`.
+    pub fn approx(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        assert!((0.0..1.0).contains(&delta), "δ must be in [0,1)");
+        Self { epsilon, delta }
+    }
+
+    /// Whether this is pure DP (`δ = 0`).
+    #[inline]
+    pub fn is_pure(&self) -> bool {
+        self.delta == 0.0
+    }
+
+    /// Splits the budget evenly into `k` parts, each `(ε/k, δ/k)`;
+    /// composing the parts (Lemma 1) recovers exactly `(ε, δ)`.
+    pub fn split_even(&self, k: usize) -> Self {
+        assert!(k >= 1, "cannot split into zero parts");
+        Self { epsilon: self.epsilon / k as f64, delta: self.delta / k as f64 }
+    }
+
+    /// Takes a `fraction ∈ (0, 1]` of the budget.
+    pub fn fraction(&self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        Self { epsilon: self.epsilon * fraction, delta: self.delta * fraction }
+    }
+
+    /// Simple composition (Lemma 1): the guarantee of running `self` then
+    /// `other` on the same database.
+    pub fn compose(&self, other: &Self) -> Self {
+        Self { epsilon: self.epsilon + other.epsilon, delta: self.delta + other.delta }
+    }
+}
+
+impl fmt::Display for PrivacyParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pure() {
+            write!(f, "ε={}", self.epsilon)
+        } else {
+            write!(f, "(ε={}, δ={:e})", self.epsilon, self.delta)
+        }
+    }
+}
+
+/// Runtime guard for composition accounting.
+///
+/// Construction pipelines `charge` every mechanism invocation; exceeding the
+/// budget is a logic error (the analysis promised it cannot happen), so the
+/// accountant returns an error the pipeline turns into a panic in debug and
+/// a hard failure in release.
+#[derive(Debug, Clone)]
+pub struct BudgetAccountant {
+    budget: PrivacyParams,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+/// Overspending error from [`BudgetAccountant::charge`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetExceeded {
+    /// What the charge would have brought the total ε to.
+    pub would_be_epsilon: f64,
+    /// What the charge would have brought the total δ to.
+    pub would_be_delta: f64,
+    /// The configured budget.
+    pub budget: PrivacyParams,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: would spend (ε={}, δ={:e}) of {}",
+            self.would_be_epsilon, self.would_be_delta, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Numerical slack for floating-point accumulation of budget fractions.
+const EPS_SLACK: f64 = 1e-9;
+
+impl BudgetAccountant {
+    /// Creates an accountant with the given total budget.
+    pub fn new(budget: PrivacyParams) -> Self {
+        Self { budget, spent_epsilon: 0.0, spent_delta: 0.0 }
+    }
+
+    /// Records spending `params`; errors if the total would exceed the
+    /// budget (with a tiny float-rounding slack).
+    pub fn charge(&mut self, params: PrivacyParams) -> Result<(), BudgetExceeded> {
+        let e = self.spent_epsilon + params.epsilon;
+        let d = self.spent_delta + params.delta;
+        // ε gets a small absolute slack for float accumulation; δ gets a
+        // relative slack only, so any positive δ overdraws a pure-DP budget.
+        if e > self.budget.epsilon * (1.0 + EPS_SLACK) + 1e-12
+            || d > self.budget.delta * (1.0 + EPS_SLACK)
+        {
+            return Err(BudgetExceeded {
+                would_be_epsilon: e,
+                would_be_delta: d,
+                budget: self.budget,
+            });
+        }
+        self.spent_epsilon = e;
+        self.spent_delta = d;
+        Ok(())
+    }
+
+    /// Total spent so far.
+    pub fn spent(&self) -> PrivacyParams {
+        PrivacyParams { epsilon: self.spent_epsilon, delta: self.spent_delta }
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> PrivacyParams {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_then_compose_is_identity() {
+        let p = PrivacyParams::approx(1.0, 1e-6);
+        let part = p.split_even(4);
+        let mut total = part;
+        for _ in 0..3 {
+            total = total.compose(&part);
+        }
+        assert!((total.epsilon - 1.0).abs() < 1e-12);
+        assert!((total.delta - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn accountant_enforces_budget() {
+        let mut acc = BudgetAccountant::new(PrivacyParams::pure(1.0));
+        let third = PrivacyParams::pure(1.0).split_even(3);
+        assert!(acc.charge(third).is_ok());
+        assert!(acc.charge(third).is_ok());
+        assert!(acc.charge(third).is_ok());
+        // Fourth third overdraws.
+        assert!(acc.charge(third).is_err());
+        assert!((acc.spent().epsilon - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accountant_rejects_delta_overdraft_on_pure_budget() {
+        let mut acc = BudgetAccountant::new(PrivacyParams::pure(1.0));
+        assert!(acc.charge(PrivacyParams::approx(0.1, 1e-9)).is_err());
+    }
+
+    #[test]
+    fn paper_splits() {
+        // Lemma 6: ε₁ = ε/(⌊log ℓ⌋+1).
+        let eps = 2.0;
+        let ell = 16usize;
+        let levels = (ell as f64).log2().floor() as usize + 1;
+        let per_level = PrivacyParams::pure(eps).split_even(levels);
+        assert!((per_level.epsilon - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_epsilon_rejected() {
+        let _ = PrivacyParams::pure(0.0);
+    }
+}

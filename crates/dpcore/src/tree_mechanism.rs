@@ -1,0 +1,296 @@
+//! The binary-tree (dyadic) mechanism for private prefix sums.
+//!
+//! Implements the mechanism of Dwork–Naor–Pitassi–Rothblum \[27\] in the
+//! multi-sequence form the paper needs (Lemma 11 for ε-DP with Laplace
+//! noise, Lemma 18 for (ε,δ)-DP with Gaussian noise): to release all prefix
+//! sums of a length-`T` sequence, add noise to the partial sum of every
+//! dyadic interval of `[1, T]`; a prefix `[1, m]` is then the sum of at most
+//! `⌊log T⌋ + 1` noisy dyadic sums.
+//!
+//! Calibration is the caller's job (the sensitivity `L` is summed across all
+//! `k` sequences — a key point of the paper's heavy-path analysis); the
+//! helpers [`lemma11_noise`]/[`lemma18_noise`] encode the paper's exact
+//! scales and [`lemma11_error_bound`]/[`lemma18_error_bound`] the resulting
+//! high-probability sup errors.
+
+use rand::Rng;
+
+use crate::noise::Noise;
+
+/// `⌊log₂ t⌋ + 1` for `t ≥ 1` — the maximum number of dyadic intervals
+/// covering any prefix of `[1, t]`, and the maximum number of intervals any
+/// single index belongs to.
+pub fn dyadic_levels(t: usize) -> usize {
+    assert!(t >= 1);
+    (usize::BITS - t.leading_zeros()) as usize
+}
+
+/// Decomposes the prefix `[1, m]` (1-indexed, inclusive) into disjoint
+/// dyadic intervals, returned as `(start, size)` with `start` 0-indexed.
+///
+/// Follows the binary representation of `m` from the most significant bit:
+/// the decomposition has at most [`dyadic_levels`]`(m)` parts.
+pub fn decompose_prefix(m: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut covered = 0usize;
+    let mut remaining = m;
+    while remaining > 0 {
+        let size = 1usize << (usize::BITS - 1 - remaining.leading_zeros());
+        out.push((covered, size));
+        covered += size;
+        remaining -= size;
+    }
+    out
+}
+
+/// The binary-tree mechanism over one sequence.
+///
+/// Stores the noisy dyadic partial sums; queries return noisy prefix sums.
+#[derive(Debug, Clone)]
+pub struct BinaryTreeMechanism {
+    /// `noisy[level][j]` = noisy sum of `seq[j·2^level .. (j+1)·2^level)`
+    /// (0-indexed), present only for intervals fully inside the sequence.
+    noisy: Vec<Vec<f64>>,
+    t: usize,
+}
+
+impl BinaryTreeMechanism {
+    /// Builds the mechanism: one noise draw per dyadic interval.
+    ///
+    /// `O(T)` intervals in total, `O(T)` time.
+    pub fn build<R: Rng + ?Sized>(seq: &[f64], noise: Noise, rng: &mut R) -> Self {
+        let t = seq.len();
+        // Prefix sums for O(1) interval sums.
+        let mut pre = Vec::with_capacity(t + 1);
+        pre.push(0.0f64);
+        for &v in seq {
+            pre.push(pre.last().expect("non-empty") + v);
+        }
+        let mut noisy = Vec::new();
+        let mut size = 1usize;
+        while size <= t.max(1) {
+            let mut level = Vec::new();
+            let mut start = 0usize;
+            while start + size <= t {
+                let s = pre[start + size] - pre[start];
+                level.push(s + noise.sample(rng));
+                start += size;
+            }
+            noisy.push(level);
+            if size > t / 2 {
+                break;
+            }
+            size *= 2;
+        }
+        Self { noisy, t }
+    }
+
+    /// Noisy prefix sum of the first `m` elements (`m ∈ [0, T]`).
+    pub fn prefix(&self, m: usize) -> f64 {
+        assert!(m <= self.t, "prefix length out of range");
+        let mut sum = 0.0;
+        for (start, size) in decompose_prefix(m) {
+            let level = size.trailing_zeros() as usize;
+            sum += self.noisy[level][start / size];
+        }
+        sum
+    }
+
+    /// All noisy prefix sums `[1..=T]` as a vector (index `i` holds the
+    /// prefix of length `i + 1`).
+    pub fn all_prefixes(&self) -> Vec<f64> {
+        (1..=self.t).map(|m| self.prefix(m)).collect()
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+}
+
+/// Lemma 11 noise scale: `Lap(ε⁻¹ · L · (⌊log T⌋ + 1))` per dyadic interval,
+/// where `L` is the *summed* L1 sensitivity across all `k` sequences.
+pub fn lemma11_noise(epsilon: f64, l_total: f64, t: usize) -> Noise {
+    assert!(epsilon > 0.0);
+    let levels = dyadic_levels(t.max(1)) as f64;
+    Noise::Laplace { b: l_total * levels / epsilon }
+}
+
+/// Lemma 11 error bound: with probability ≥ 1−β, every prefix sum of every
+/// one of the `k` sequences (lengths ≤ `t`) errs by at most this.
+///
+/// From Lemma 12 with `b = ε⁻¹L(⌊log T⌋+1)`:
+/// `2b·√(2 ln(2kT/β))·max(√(⌊log T⌋+1), √(ln(2kT/β)))`.
+pub fn lemma11_error_bound(epsilon: f64, l_total: f64, t: usize, k: usize, beta: f64) -> f64 {
+    assert!(epsilon > 0.0 && beta > 0.0 && beta < 1.0);
+    let levels = dyadic_levels(t.max(1)) as f64;
+    let b = l_total * levels / epsilon;
+    let log_term = (2.0 * (k.max(1) * t.max(1)) as f64 / beta).ln();
+    2.0 * b * (2.0 * log_term).sqrt() * levels.sqrt().max(log_term.sqrt())
+}
+
+/// Lemma 18 noise scale:
+/// `N(0, σ²)` with `σ = ε⁻¹·√(2·L·Δ·(⌊log T⌋+1)·ln(2/δ))`, where `L` is the
+/// summed L1 sensitivity and `Δ` the per-sequence L1 (hence L∞-per-interval)
+/// sensitivity — the Hölder step of the paper.
+pub fn lemma18_noise(epsilon: f64, delta: f64, l_total: f64, delta_inf: f64, t: usize) -> Noise {
+    assert!(epsilon > 0.0 && delta > 0.0);
+    let levels = dyadic_levels(t.max(1)) as f64;
+    let sigma = (2.0 * l_total * delta_inf * levels * (2.0 / delta).ln()).sqrt() / epsilon;
+    Noise::Gaussian { sigma }
+}
+
+/// Lemma 18 error bound: `σ·√((⌊log T⌋+1)·ln(Tk/β))` with σ from
+/// [`lemma18_noise`] — with probability ≥ 1−β over all prefix sums of all
+/// `k` sequences.
+pub fn lemma18_error_bound(
+    epsilon: f64,
+    delta: f64,
+    l_total: f64,
+    delta_inf: f64,
+    t: usize,
+    k: usize,
+    beta: f64,
+) -> f64 {
+    let Noise::Gaussian { sigma } = lemma18_noise(epsilon, delta, l_total, delta_inf, t) else {
+        unreachable!("lemma18_noise always returns Gaussian");
+    };
+    let levels = dyadic_levels(t.max(1)) as f64;
+    // Gaussian tail (Lemma 4) with variance (⌊log T⌋+1)σ², union over kT
+    // prefix sums: t = σ₁·√(2 ln(2kT/β)).
+    let sigma1 = sigma * levels.sqrt();
+    sigma1 * (2.0 * (2.0 * (k.max(1) * t.max(1)) as f64 / beta).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decompose_prefix_covers_exactly() {
+        for m in 1..=64usize {
+            let parts = decompose_prefix(m);
+            // Disjoint, contiguous from 0, total length m, aligned.
+            let mut covered = 0usize;
+            for &(start, size) in &parts {
+                assert_eq!(start, covered);
+                assert!(size.is_power_of_two());
+                assert_eq!(start % size, 0, "interval not aligned");
+                covered += size;
+            }
+            assert_eq!(covered, m);
+            assert!(parts.len() <= dyadic_levels(m));
+        }
+    }
+
+    #[test]
+    fn zero_noise_gives_exact_prefix_sums() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in [1usize, 2, 3, 7, 8, 9, 31, 64, 100] {
+            let seq: Vec<f64> = (0..t).map(|i| (i as f64 * 1.5) - 3.0).collect();
+            let mech = BinaryTreeMechanism::build(&seq, Noise::None, &mut rng);
+            let mut acc = 0.0;
+            for (i, &v) in seq.iter().enumerate() {
+                acc += v;
+                assert!((mech.prefix(i + 1) - acc).abs() < 1e-9, "t={t} m={}", i + 1);
+            }
+            assert_eq!(mech.prefix(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn noisy_prefix_error_within_lemma11_bound() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = 128usize;
+        let seq: Vec<f64> = (0..t).map(|i| (i % 5) as f64).collect();
+        let exact: Vec<f64> = {
+            let mut acc = 0.0;
+            seq.iter()
+                .map(|&v| {
+                    acc += v;
+                    acc
+                })
+                .collect()
+        };
+        let (eps, l, k, beta) = (1.0, 1.0, 1usize, 0.05);
+        let noise = lemma11_noise(eps, l, t);
+        let bound = lemma11_error_bound(eps, l, t, k, beta);
+        let trials = 300;
+        let violations = (0..trials)
+            .filter(|_| {
+                let mech = BinaryTreeMechanism::build(&seq, noise, &mut rng);
+                (0..t).any(|m| (mech.prefix(m + 1) - exact[m]).abs() > bound)
+            })
+            .count();
+        assert!(
+            (violations as f64 / trials as f64) <= beta,
+            "violations {violations}/{trials} vs β={beta}"
+        );
+    }
+
+    #[test]
+    fn noisy_prefix_error_within_lemma18_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = 64usize;
+        let seq: Vec<f64> = (0..t).map(|i| ((i * 7) % 3) as f64).collect();
+        let exact: Vec<f64> = {
+            let mut acc = 0.0;
+            seq.iter()
+                .map(|&v| {
+                    acc += v;
+                    acc
+                })
+                .collect()
+        };
+        let (eps, delta, l, dinf, k, beta) = (1.0, 1e-6, 4.0, 2.0, 1usize, 0.05);
+        let noise = lemma18_noise(eps, delta, l, dinf, t);
+        let bound = lemma18_error_bound(eps, delta, l, dinf, t, k, beta);
+        let trials = 300;
+        let violations = (0..trials)
+            .filter(|_| {
+                let mech = BinaryTreeMechanism::build(&seq, noise, &mut rng);
+                (0..t).any(|m| (mech.prefix(m + 1) - exact[m]).abs() > bound)
+            })
+            .count();
+        assert!((violations as f64 / trials as f64) <= beta);
+    }
+
+    #[test]
+    fn per_element_interval_membership_is_logarithmic() {
+        // Every index belongs to at most ⌊log T⌋+1 dyadic intervals — the
+        // crux of the sensitivity argument in Lemma 11's privacy proof.
+        for t in [1usize, 5, 16, 33, 100] {
+            let levels = dyadic_levels(t);
+            for idx in 0..t {
+                let mut membership = 0usize;
+                let mut size = 1usize;
+                while size <= t {
+                    if (idx / size) * size + size <= t {
+                        membership += 1;
+                    }
+                    size *= 2;
+                }
+                assert!(membership <= levels, "t={t} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mech =
+            BinaryTreeMechanism::build(&[], Noise::Laplace { b: 1.0 }, &mut rng);
+        assert_eq!(mech.prefix(0), 0.0);
+        assert!(mech.is_empty());
+        assert!(mech.all_prefixes().is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Applications of the tree-counting theorems: hierarchical histograms and
+//! the colored tree counting problem (paper §1.1.3).
+//!
+//! * **Hierarchical histogram** — leaves are universe elements, `c(v)` is
+//!   the number of data items below `v` (zip → area → state rollups, the
+//!   range-counting application of \[40\]). Leaf sensitivity `d = 2`,
+//!   per-node `Δ = 1` under the replace-one-item neighboring relation.
+//! * **Colored tree counting** — every universe element additionally has a
+//!   *color*; `c(v)` is the number of **distinct colors** among the data
+//!   items below `v` ("counting distinct elements in a time window" \[41\]).
+//!   Same sensitivities: replacing one item removes at most one color from
+//!   each ancestor of the old leaf and adds at most one to each ancestor of
+//!   the new leaf.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+use dpsc_dpcore::budget::PrivacyParams;
+
+use crate::tree::{NodeId, Tree};
+use crate::tree_counting::{
+    private_tree_counts_approx, private_tree_counts_pure, TreeCountEstimate, TreeSensitivity,
+};
+
+/// A universe whose elements live at the leaves of a tree, each with a color.
+#[derive(Debug, Clone)]
+pub struct ColoredUniverse {
+    tree: Tree,
+    /// Leaf node of each universe element.
+    leaf_of: Vec<NodeId>,
+    /// Color of each universe element.
+    color_of: Vec<u32>,
+}
+
+impl ColoredUniverse {
+    /// Creates a universe. `leaf_of[e]` must be a leaf of `tree`.
+    pub fn new(tree: Tree, leaf_of: Vec<NodeId>, color_of: Vec<u32>) -> Self {
+        assert_eq!(leaf_of.len(), color_of.len(), "one color per element");
+        for &l in &leaf_of {
+            assert!(tree.is_leaf(l), "element mapped to non-leaf node {l}");
+        }
+        Self { tree, leaf_of, color_of }
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Number of universe elements.
+    #[inline]
+    pub fn universe_size(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// Exact histogram counts: `c(v)` = number of dataset items at leaves
+    /// below `v`. `O(|dataset| · h)`.
+    pub fn histogram_counts(&self, dataset: &[u32]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.tree.n()];
+        for &item in dataset {
+            let mut v = self.leaf_of[item as usize];
+            loop {
+                counts[v as usize] += 1;
+                if v == self.tree.root() {
+                    break;
+                }
+                v = self.tree.parent(v);
+            }
+        }
+        counts
+    }
+
+    /// Exact colored counts: `c(v)` = number of distinct colors among
+    /// dataset items below `v`. Small-to-large merging, `O(m log m)` sets.
+    pub fn colored_counts(&self, dataset: &[u32]) -> Vec<u64> {
+        let n = self.tree.n();
+        // Colors present at each leaf.
+        let mut at_node: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+        for &item in dataset {
+            at_node[self.leaf_of[item as usize] as usize]
+                .insert(self.color_of[item as usize]);
+        }
+        let mut counts = vec![0u64; n];
+        let order = self.tree.dfs_preorder();
+        for &v in order.iter().rev() {
+            // Merge children into v (small-to-large): take the largest child
+            // set as the base.
+            let mut base: HashSet<u32> = std::mem::take(&mut at_node[v as usize]);
+            for &c in self.tree.children(v) {
+                let child_set = std::mem::take(&mut at_node[c as usize]);
+                // Children were already counted; reuse their sets.
+                let (mut big, small) = if child_set.len() > base.len() {
+                    (child_set, base)
+                } else {
+                    (base, child_set)
+                };
+                big.extend(small);
+                base = big;
+            }
+            counts[v as usize] = base.len() as u64;
+            at_node[v as usize] = base;
+        }
+        counts
+    }
+
+    /// Sensitivities under the replace-one-item relation, for both the
+    /// histogram and the colored variants: `d = 2`, `Δ = 1`.
+    pub fn replace_one_sensitivity() -> TreeSensitivity {
+        TreeSensitivity { leaf_l1: 2.0, per_node: 1.0 }
+    }
+
+    /// ε-DP colored tree counting (Theorem 8 applied to colored counts).
+    pub fn private_colored_counts_pure<R: Rng + ?Sized>(
+        &self,
+        dataset: &[u32],
+        privacy: PrivacyParams,
+        beta: f64,
+        rng: &mut R,
+    ) -> TreeCountEstimate {
+        let counts = self.colored_counts(dataset);
+        private_tree_counts_pure(
+            &self.tree,
+            &counts,
+            Self::replace_one_sensitivity(),
+            privacy,
+            beta,
+            rng,
+        )
+    }
+
+    /// (ε,δ)-DP colored tree counting (Theorem 9).
+    pub fn private_colored_counts_approx<R: Rng + ?Sized>(
+        &self,
+        dataset: &[u32],
+        privacy: PrivacyParams,
+        beta: f64,
+        rng: &mut R,
+    ) -> TreeCountEstimate {
+        let counts = self.colored_counts(dataset);
+        private_tree_counts_approx(
+            &self.tree,
+            &counts,
+            Self::replace_one_sensitivity(),
+            privacy,
+            beta,
+            rng,
+        )
+    }
+
+    /// ε-DP hierarchical histogram (Theorem 8 applied to subtree counts).
+    pub fn private_histogram_pure<R: Rng + ?Sized>(
+        &self,
+        dataset: &[u32],
+        privacy: PrivacyParams,
+        beta: f64,
+        rng: &mut R,
+    ) -> TreeCountEstimate {
+        let counts = self.histogram_counts(dataset);
+        private_tree_counts_pure(
+            &self.tree,
+            &counts,
+            Self::replace_one_sensitivity(),
+            privacy,
+            beta,
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree_counting::validate_monotone;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(seed: u64) -> (ColoredUniverse, Vec<u32>) {
+        let tree = Tree::complete_kary(2, 4);
+        let leaves = tree.leaves();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = 64usize;
+        let leaf_of: Vec<NodeId> =
+            (0..u).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+        let color_of: Vec<u32> = (0..u).map(|_| rng.gen_range(0..8)).collect();
+        let universe = ColoredUniverse::new(tree, leaf_of, color_of);
+        let dataset: Vec<u32> = (0..200).map(|_| rng.gen_range(0..u as u32)).collect();
+        (universe, dataset)
+    }
+
+    #[test]
+    fn colored_counts_match_naive() {
+        let (universe, dataset) = setup(41);
+        let counts = universe.colored_counts(&dataset);
+        // Naive: for each node, collect colors of items below it.
+        let depths = universe.tree().depths();
+        let _ = depths;
+        for v in 0..universe.tree().n() as NodeId {
+            let mut colors = HashSet::new();
+            for &item in &dataset {
+                // Is leaf_of[item] below v?
+                let mut cur = universe.leaf_of[item as usize];
+                let below = loop {
+                    if cur == v {
+                        break true;
+                    }
+                    if cur == universe.tree().root() {
+                        break false;
+                    }
+                    cur = universe.tree().parent(cur);
+                };
+                if below {
+                    colors.insert(universe.color_of[item as usize]);
+                }
+            }
+            assert_eq!(counts[v as usize], colors.len() as u64, "node {v}");
+        }
+    }
+
+    #[test]
+    fn colored_counts_are_monotone() {
+        let (universe, dataset) = setup(42);
+        let counts = universe.colored_counts(&dataset);
+        assert!(validate_monotone(universe.tree(), &counts));
+        let hist = universe.histogram_counts(&dataset);
+        assert!(validate_monotone(universe.tree(), &hist));
+    }
+
+    #[test]
+    fn replace_one_item_moves_counts_within_sensitivity() {
+        let (universe, dataset) = setup(43);
+        let counts = universe.colored_counts(&dataset);
+        // Replace item 0 with a different element.
+        let mut neighbor = dataset.clone();
+        neighbor[0] = (neighbor[0] + 1) % universe.universe_size() as u32;
+        let counts2 = universe.colored_counts(&neighbor);
+        let sens = ColoredUniverse::replace_one_sensitivity();
+        // Per-node: |change| ≤ Δ = 1.
+        for v in 0..universe.tree().n() {
+            let diff = (counts[v] as i64 - counts2[v] as i64).abs();
+            assert!(diff as f64 <= sens.per_node, "node {v} moved by {diff}");
+        }
+        // Leaves: summed |change| ≤ d = 2.
+        let leaf_change: i64 = universe
+            .tree()
+            .leaves()
+            .iter()
+            .map(|&l| (counts[l as usize] as i64 - counts2[l as usize] as i64).abs())
+            .sum();
+        assert!(leaf_change as f64 <= sens.leaf_l1);
+    }
+
+    #[test]
+    fn private_colored_counts_respect_bound() {
+        let (universe, dataset) = setup(44);
+        let mut rng = StdRng::seed_from_u64(99);
+        let est = universe.private_colored_counts_pure(
+            &dataset,
+            PrivacyParams::pure(2.0),
+            0.1,
+            &mut rng,
+        );
+        let exact = universe.colored_counts(&dataset);
+        assert!(est.max_error(&exact) <= est.error_bound);
+        let est2 = universe.private_colored_counts_approx(
+            &dataset,
+            PrivacyParams::approx(1.0, 1e-6),
+            0.1,
+            &mut rng,
+        );
+        assert!(est2.max_error(&exact) <= est2.error_bound);
+    }
+
+    use rand::Rng;
+}

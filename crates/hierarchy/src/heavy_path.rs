@@ -1,0 +1,197 @@
+//! Heavy-path decomposition (Sleator–Tarjan \[62\]).
+//!
+//! Every non-leaf node has exactly one *heavy* edge, to the child with the
+//! largest subtree (ties to the smallest id for determinism); all other
+//! edges are *light*. Maximal chains of heavy edges are the *heavy paths*.
+//! Lemma 9: any root-to-leaf path crosses at most `⌊log N⌋` light edges —
+//! the property the paper leverages so that a single document can influence
+//! only `O(ℓ log N)` heavy-path roots (Lemma 10).
+
+use crate::tree::{NodeId, Tree};
+
+/// Heavy-path decomposition of a [`Tree`].
+#[derive(Debug, Clone)]
+pub struct HeavyPathDecomposition {
+    /// Path id of each node.
+    path_of: Vec<u32>,
+    /// Position of each node within its path (0 = path root).
+    pos_in_path: Vec<u32>,
+    /// Node lists per path, each ordered from path root downward.
+    paths: Vec<Vec<NodeId>>,
+}
+
+impl HeavyPathDecomposition {
+    /// Computes the decomposition in `O(n)`.
+    pub fn new(tree: &Tree) -> Self {
+        let n = tree.n();
+        let sizes = tree.subtree_sizes();
+        // Heavy child per node (or None for leaves).
+        let mut heavy: Vec<Option<NodeId>> = vec![None; n];
+        for v in 0..n as NodeId {
+            let mut best: Option<NodeId> = None;
+            for &c in tree.children(v) {
+                best = match best {
+                    None => Some(c),
+                    Some(b) if sizes[c as usize] > sizes[b as usize] => Some(c),
+                    Some(b) => Some(b),
+                };
+            }
+            heavy[v as usize] = best;
+        }
+        let mut path_of = vec![u32::MAX; n];
+        let mut pos_in_path = vec![0u32; n];
+        let mut paths: Vec<Vec<NodeId>> = Vec::new();
+        // A node starts a new heavy path iff it is the root or reached by a
+        // light edge. Walk DFS; when we meet a path head, follow heavy edges
+        // to the bottom.
+        for &v in &tree.dfs_preorder() {
+            let is_head =
+                v == tree.root() || heavy[tree.parent(v) as usize] != Some(v);
+            if !is_head {
+                continue;
+            }
+            let id = paths.len() as u32;
+            let mut path = Vec::new();
+            let mut cur = v;
+            loop {
+                path_of[cur as usize] = id;
+                pos_in_path[cur as usize] = path.len() as u32;
+                path.push(cur);
+                match heavy[cur as usize] {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            }
+            paths.push(path);
+        }
+        debug_assert!(path_of.iter().all(|&p| p != u32::MAX));
+        Self { path_of, pos_in_path, paths }
+    }
+
+    /// Number of heavy paths (equals the number of leaves).
+    #[inline]
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The paths, each from its root downward.
+    #[inline]
+    pub fn paths(&self) -> &[Vec<NodeId>] {
+        &self.paths
+    }
+
+    /// Path id containing `v`.
+    #[inline]
+    pub fn path_of(&self, v: NodeId) -> usize {
+        self.path_of[v as usize] as usize
+    }
+
+    /// Position of `v` within its path (0 = the path's topmost node).
+    #[inline]
+    pub fn pos_in_path(&self, v: NodeId) -> usize {
+        self.pos_in_path[v as usize] as usize
+    }
+
+    /// The root (topmost node) of `v`'s heavy path.
+    #[inline]
+    pub fn path_root(&self, v: NodeId) -> NodeId {
+        self.paths[self.path_of(v)][0]
+    }
+
+    /// Roots of all heavy paths, indexed by path id.
+    pub fn path_roots(&self) -> Vec<NodeId> {
+        self.paths.iter().map(|p| p[0]).collect()
+    }
+
+    /// Number of light edges on the path from the root of the tree to `v` —
+    /// equivalently, the number of heavy paths the root-to-`v` path crosses,
+    /// minus one. Lemma 9 bounds this by `⌊log N⌋`.
+    pub fn light_edges_to(&self, tree: &Tree, v: NodeId) -> usize {
+        let mut count = 0usize;
+        let mut cur = v;
+        loop {
+            let head = self.path_root(cur);
+            if head == tree.root() {
+                break;
+            }
+            // Edge from head's parent to head is light by construction.
+            count += 1;
+            cur = tree.parent(head);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_invariants(tree: &Tree) {
+        let hpd = HeavyPathDecomposition::new(tree);
+        let n = tree.n();
+        // Every node in exactly one path, positions consistent.
+        let mut seen = vec![false; n];
+        for (id, path) in hpd.paths().iter().enumerate() {
+            for (pos, &v) in path.iter().enumerate() {
+                assert!(!seen[v as usize], "node {v} in two paths");
+                seen[v as usize] = true;
+                assert_eq!(hpd.path_of(v), id);
+                assert_eq!(hpd.pos_in_path(v), pos);
+                if pos > 0 {
+                    assert_eq!(tree.parent(v), path[pos - 1], "path not parent-linked");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // #paths == #leaves (each path ends at a leaf).
+        assert_eq!(hpd.num_paths(), tree.leaves().len());
+        // Lemma 9: light edges to any node ≤ ⌊log₂ n⌋.
+        let bound = if n <= 1 { 0 } else { (usize::BITS - 1 - n.leading_zeros()) as usize };
+        for v in 0..n as NodeId {
+            assert!(
+                hpd.light_edges_to(tree, v) <= bound,
+                "node {v}: {} light edges > log bound {bound}",
+                hpd.light_edges_to(tree, v)
+            );
+        }
+    }
+
+    #[test]
+    fn invariants_on_shapes() {
+        check_invariants(&Tree::complete_kary(2, 5));
+        check_invariants(&Tree::complete_kary(3, 4));
+        check_invariants(&Tree::path(17));
+        check_invariants(&Tree::from_parents(&[None]));
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            check_invariants(&Tree::random_recursive(rng.gen_range(1..300), &mut rng));
+        }
+    }
+
+    #[test]
+    fn path_graph_is_one_heavy_path() {
+        let t = Tree::path(10);
+        let hpd = HeavyPathDecomposition::new(&t);
+        assert_eq!(hpd.num_paths(), 1);
+        assert_eq!(hpd.paths()[0].len(), 10);
+    }
+
+    #[test]
+    fn heavy_child_is_larger_subtree() {
+        // Root with a 1-node child and a 3-node chain: the chain is heavy.
+        //        0
+        //       / \
+        //      1   2-3-4 (chain)
+        let t = Tree::from_parents(&[None, Some(0), Some(0), Some(2), Some(3)]);
+        let hpd = HeavyPathDecomposition::new(&t);
+        assert_eq!(hpd.path_of(0), hpd.path_of(2));
+        assert_eq!(hpd.path_of(0), hpd.path_of(4));
+        assert_ne!(hpd.path_of(0), hpd.path_of(1));
+        assert_eq!(hpd.light_edges_to(&t, 1), 1);
+        assert_eq!(hpd.light_edges_to(&t, 4), 0);
+    }
+
+    use rand::Rng;
+}

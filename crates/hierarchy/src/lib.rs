@@ -1,0 +1,32 @@
+//! # dpsc-hierarchy — trees, heavy paths, and DP counting on trees
+//!
+//! The tree substrate of the system plus the paper's Section 5 results:
+//!
+//! * [`Tree`] — arena rooted trees with the shape generators the
+//!   experiments sweep (complete k-ary, random recursive, path).
+//! * [`HeavyPathDecomposition`] — Sleator–Tarjan heavy paths with the
+//!   Lemma 9 "≤ ⌊log N⌋ light edges per root-to-leaf path" guarantee,
+//!   verified by property tests.
+//! * [`tree_counting`] — Theorem 8 (ε-DP) and Theorem 9 ((ε,δ)-DP) generic
+//!   private counting of any monotone, bounded-sensitivity count function on
+//!   a tree, plus the prior-work baselines (noisy-leaf-sum \[72\],
+//!   per-node Laplace) the experiments compare against.
+//! * [`colored`] — the two motivating applications: hierarchical histograms
+//!   \[40\] and colored tree counting / distinct elements \[41\].
+//!
+//! The trie pipeline of `dpsc-private-count` reuses the same
+//! heavy-path + difference-sequence strategy, specialized to substring
+//! counts where the sensitivity argument is Lemma 10 rather than Lemma 9
+//! alone.
+
+pub mod colored;
+pub mod heavy_path;
+pub mod tree;
+pub mod tree_counting;
+
+pub use colored::ColoredUniverse;
+pub use heavy_path::HeavyPathDecomposition;
+pub use tree::Tree;
+pub use tree_counting::{
+    private_tree_counts_approx, private_tree_counts_pure, TreeCountEstimate, TreeSensitivity,
+};

@@ -1,0 +1,30 @@
+//! # dpsc-lowerbounds — executable lower-bound instances (paper §6)
+//!
+//! The paper's lower bounds, turned into runnable adversaries:
+//!
+//! * [`substring`] — **Theorem 6**: the `a^ℓ`/`b^ℓ` neighboring pair that
+//!   forces `α = Ω(ℓ)` for Substring Count under any useful `(ε, δ)`.
+//! * [`marginals`] — **Theorem 7**: the position-gadget encoding reducing
+//!   1-way marginals to Document Count, transferring the fingerprinting
+//!   `Ω̃(√ℓ)` bound.
+//! * [`packing`] — **Theorem 5**: the packing instance showing
+//!   `α = Ω(min(n, ε⁻¹ ℓ log|Σ|))` even for threshold mining of
+//!   fixed-length patterns.
+//! * [`attack`] — a Monte-Carlo distinguishing harness that measures the
+//!   empirical privacy loss of any mechanism on a neighboring pair; used to
+//!   certify that the exact counter is blatantly non-private and that the
+//!   repository's mechanisms respect their declared ε on the worst-case
+//!   instances.
+
+pub mod attack;
+pub mod marginals;
+pub mod packing;
+pub mod substring;
+
+pub use attack::{threshold_attack, AttackResult};
+pub use marginals::{
+    encode_marginals, exact_marginals, marginals_via_document_count, random_matrix,
+    MarginalsInstance,
+};
+pub use packing::{packing_instance, recovery_event, theorem5_epsilon_floor, PackingInstance};
+pub use substring::{theorem6_epsilon_floor, theorem6_instance, SubstringLowerBound};

@@ -1,0 +1,191 @@
+//! Theorem 5: the packing lower bound for ε-DP mining of fixed-length
+//! patterns.
+//!
+//! The instance packs `k = ⌊ℓ/m⌋` secret patterns `P_1 … P_k` (over
+//! `Σ̂ = Σ∖{0,1}`) into one document `S = P_1·c_1 ⋯ P_k·c_k`, where `c_i`
+//! is the `m/2`-bit binary position code of `i`. The database has `B = 2α`
+//! copies of `S` and `n−B` filler documents. Any mechanism that reliably
+//! mines the planted length-`m` patterns at threshold `τ = B/2` pins down
+//! the `(|Σ|−2)^{mk/2}` possible pattern sets, and group privacy over the
+//! `B`-neighboring instances forces `α = Ω(min(n, ε⁻¹ℓ log|Σ|))`.
+//!
+//! Executable here: instance generation, the event `E(P_1 … P_k)` test, and
+//! the implied ε floor for a hypothetically-accurate mechanism.
+
+use dpsc_strkit::alphabet::{Alphabet, Database};
+use rand::Rng;
+
+/// A packing instance.
+#[derive(Debug, Clone)]
+pub struct PackingInstance {
+    /// The database: `B` copies of the packed document, `n − B` fillers.
+    pub db: Database,
+    /// The planted length-`m` strings `P_i·c_i` the miner must output.
+    pub planted: Vec<Vec<u8>>,
+    /// The suffix codes `c_i` (no other output string may end in one).
+    pub codes: Vec<Vec<u8>>,
+    /// Mining threshold `τ = B/2`.
+    pub tau: f64,
+    /// Number of packed copies `B`.
+    pub b: usize,
+    /// Pattern length `m`.
+    pub m: usize,
+}
+
+/// Builds a packing instance with `B` copies of the packed document among
+/// `n` documents of length `ℓ`, alphabet size `sigma ≥ 4`.
+///
+/// `m` defaults to `2⌈log ℓ⌉` rounded up to even (the theorem's minimum).
+pub fn packing_instance<R: Rng + ?Sized>(
+    n: usize,
+    ell: usize,
+    sigma: u16,
+    b: usize,
+    rng: &mut R,
+) -> PackingInstance {
+    assert!(sigma >= 4, "Theorem 5 needs |Σ| ≥ 4");
+    assert!(b <= n, "B must be at most n");
+    let alphabet = Alphabet::lowercase(sigma);
+    // m ≥ 2⌈log ℓ⌉, even.
+    let logl = (usize::BITS - (ell.max(2) - 1).leading_zeros()) as usize;
+    let m = (2 * logl.max(1) + 1) & !1usize;
+    assert!(m <= ell, "ℓ too small for the packing construction");
+    let half = m / 2;
+    let k = ell / m;
+    assert!(k >= 1);
+
+    // Symbols: 'a' = 0, 'b' = 1 (code symbols); Σ̂ = the rest.
+    let zero = alphabet.symbol_at(0);
+    let one = alphabet.symbol_at(1);
+    let hat: Vec<u8> = (2..alphabet.size()).map(|i| alphabet.symbol_at(i)).collect();
+
+    let mut planted = Vec::with_capacity(k);
+    let mut codes = Vec::with_capacity(k);
+    let mut packed = Vec::with_capacity(k * m);
+    for i in 0..k {
+        let pattern: Vec<u8> =
+            (0..half).map(|_| hat[rng.gen_range(0..hat.len())]).collect();
+        // c_i: half-bit binary code of i.
+        let code: Vec<u8> =
+            (0..half).rev().map(|bit| if (i >> bit) & 1 == 1 { one } else { zero }).collect();
+        packed.extend_from_slice(&pattern);
+        packed.extend_from_slice(&code);
+        let mut full = pattern.clone();
+        full.extend_from_slice(&code);
+        planted.push(full);
+        codes.push(code);
+    }
+    // Pad the packed document to ℓ with the zero symbol.
+    packed.resize(ell, zero);
+
+    let mut docs = vec![vec![zero; ell]; n];
+    for doc in docs.iter_mut().take(b) {
+        *doc = packed.clone();
+    }
+    let db = Database::new(alphabet, ell, docs).expect("valid packing instance");
+    PackingInstance { db, planted, codes, tau: b as f64 / 2.0, b, m }
+}
+
+/// The event `E(P_1 … P_k)` of the proof: the mined set contains every
+/// planted string and no *other* length-`m` string ending in one of the
+/// position codes.
+pub fn recovery_event(inst: &PackingInstance, mined: &[Vec<u8>]) -> bool {
+    let planted: std::collections::HashSet<&[u8]> =
+        inst.planted.iter().map(|p| p.as_slice()).collect();
+    // All planted present.
+    let all_present = inst
+        .planted
+        .iter()
+        .all(|p| mined.iter().any(|m| m == p));
+    if !all_present {
+        return false;
+    }
+    // No impostor with a code suffix.
+    let half = inst.m / 2;
+    for s in mined {
+        if s.len() != inst.m {
+            continue;
+        }
+        if planted.contains(s.as_slice()) {
+            continue;
+        }
+        if inst.codes.iter().any(|c| &s[s.len() - half..] == c.as_slice()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The ε floor Theorem 5 implies for an algorithm achieving error
+/// `α = B/2` on this family: `ε ≥ (mk/2)·ln(|Σ|−2)/B` up to the additive
+/// `ln(2/3)` slack.
+pub fn theorem5_epsilon_floor(sigma: usize, m: usize, k: usize, b: usize) -> f64 {
+    assert!(sigma >= 3 && b >= 1);
+    ((m * k) as f64 / 2.0 * ((sigma - 2) as f64).ln() + (2.0f64 / 3.0).ln()) / b as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsc_strkit::naive_count;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn planted_patterns_have_count_b() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let inst = packing_instance(32, 64, 6, 8, &mut rng);
+        for p in &inst.planted {
+            let c: usize =
+                inst.db.documents().iter().map(|d| naive_count(p, d)).sum();
+            assert_eq!(c, inst.b, "planted {:?}", p);
+            assert_eq!(p.len(), inst.m);
+        }
+    }
+
+    #[test]
+    fn filler_documents_lack_codes() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let inst = packing_instance(16, 64, 6, 4, &mut rng);
+        // Any length-m string ending in a code other than the planted ones
+        // has count 0 in D.
+        let half = inst.m / 2;
+        let mut impostor = inst.planted[0].clone();
+        impostor[0] = inst.db.alphabet().symbol_at(3); // perturb the pattern half
+        if impostor != inst.planted[0] {
+            let c: usize =
+                inst.db.documents().iter().map(|d| naive_count(&impostor, d)).sum();
+            assert_eq!(c, 0);
+        }
+        let _ = half;
+    }
+
+    #[test]
+    fn recovery_event_detects_success_and_failure() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let inst = packing_instance(16, 64, 6, 4, &mut rng);
+        assert!(recovery_event(&inst, &inst.planted));
+        // Missing one planted string fails.
+        assert!(!recovery_event(&inst, &inst.planted[1..]));
+        // An impostor with a code suffix fails.
+        let mut with_impostor = inst.planted.clone();
+        let mut impostor = inst.planted[0].clone();
+        impostor[0] = impostor[0].wrapping_add(1);
+        with_impostor.push(impostor);
+        assert!(!recovery_event(&inst, &with_impostor));
+        // Extra strings without code suffixes are fine.
+        let mut with_noise = inst.planted.clone();
+        with_noise.push(vec![b'c'; inst.m]);
+        assert!(recovery_event(&inst, &with_noise));
+    }
+
+    #[test]
+    fn epsilon_floor_grows_with_packing_density() {
+        let f1 = theorem5_epsilon_floor(6, 12, 5, 16);
+        let f2 = theorem5_epsilon_floor(6, 12, 10, 16);
+        assert!(f2 > f1);
+        // And shrinks as B (the allowed error) grows.
+        let f3 = theorem5_epsilon_floor(6, 12, 5, 64);
+        assert!(f3 < f1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Theorem 6: the `Ω(ℓ)` lower bound for (ε,δ)-DP Substring Count.
+//!
+//! The instance is a single-document swap: `D` contains one `a^ℓ` among
+//! `n−1` copies of `b^ℓ`; the neighbor `D'` replaces it by `b^ℓ`. The
+//! pattern `P = a` has `count(P, D) = ℓ` and `count(P, D') = 0`, so any
+//! mechanism that is `o(ℓ)`-accurate on both with good probability can
+//! distinguish two *neighboring* databases — contradicting DP unless
+//! `ε ≥ ln((1−β−δ)/β)` (Equation 1 of the paper).
+
+use dpsc_strkit::alphabet::{Alphabet, Database};
+
+/// The Theorem 6 instance: neighboring databases and the distinguishing
+/// pattern.
+#[derive(Debug, Clone)]
+pub struct SubstringLowerBound {
+    /// `D`: one `a^ℓ` and `n−1` copies of `b^ℓ`.
+    pub db: Database,
+    /// `D'`: all `n` documents are `b^ℓ`.
+    pub neighbor: Database,
+    /// The query pattern `P = a`.
+    pub pattern: Vec<u8>,
+    /// The gap `count(P, D) − count(P, D') = ℓ`.
+    pub gap: usize,
+}
+
+/// Builds the Theorem 6 instance.
+pub fn theorem6_instance(n: usize, ell: usize) -> SubstringLowerBound {
+    assert!(n >= 1 && ell >= 1);
+    let alphabet = Alphabet::lowercase(2);
+    let mut docs = vec![vec![b'b'; ell]; n];
+    docs[0] = vec![b'a'; ell];
+    let db = Database::new(alphabet, ell, docs).expect("valid instance");
+    let neighbor = db.neighbor_replacing(0, vec![b'b'; ell]).expect("valid neighbor");
+    SubstringLowerBound { db, neighbor, pattern: vec![b'a'], gap: ell }
+}
+
+/// The minimum ε any `(α, β, δ)`-mechanism must leak on this instance when
+/// `α < ℓ/2` (Equation 1): `ε ≥ ln((1−β−δ)/β)`.
+pub fn theorem6_epsilon_floor(beta: f64, delta: f64) -> f64 {
+    assert!(beta > 0.0 && beta < 1.0 && delta >= 0.0);
+    ((1.0 - beta - delta) / beta).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsc_strkit::naive_count;
+
+    #[test]
+    fn instance_has_full_gap() {
+        let inst = theorem6_instance(8, 32);
+        let c_db: usize =
+            inst.db.documents().iter().map(|d| naive_count(&inst.pattern, d)).sum();
+        let c_nb: usize =
+            inst.neighbor.documents().iter().map(|d| naive_count(&inst.pattern, d)).sum();
+        assert_eq!(c_db, 32);
+        assert_eq!(c_nb, 0);
+        assert_eq!(inst.gap, 32);
+        // They are neighbors: exactly one document differs.
+        let diffs = inst
+            .db
+            .documents()
+            .iter()
+            .zip(inst.neighbor.documents())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn epsilon_floor_matches_corollary_9() {
+        // Corollary 9(i): for β an arbitrarily small constant and δ small,
+        // accurate mechanisms need ε → ∞; at β = (1−δ)/(e+1) the floor is 1.
+        let delta = 1e-9;
+        let beta = (1.0 - delta) / (std::f64::consts::E + 1.0);
+        let floor = theorem6_epsilon_floor(beta, delta);
+        assert!((floor - 1.0).abs() < 1e-6, "floor {floor}");
+        // Smaller β forces larger ε.
+        assert!(theorem6_epsilon_floor(0.001, delta) > 6.0);
+    }
+}

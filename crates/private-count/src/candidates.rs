@@ -1,0 +1,506 @@
+//! Step 1: differentially private candidate-set construction
+//! (Lemma 6 for ε-DP, Lemma 15 for (ε,δ)-DP).
+//!
+//! The candidate set `C ⊆ Σ^[1,ℓ]` shrinks the universe from `|Σ|^ℓ` to
+//! `≤ n²ℓ³` while guaranteeing (w.h.p.) that every string *not* in `C` has
+//! a small true count. Construction is by length doubling:
+//!
+//! 1. `P_1` = letters with noisy `count_Δ ≥ τ`;
+//! 2. `P_{2^k}` = concatenations of two `P_{2^{k-1}}` strings with noisy
+//!    `count_Δ ≥ τ` (noise added to *every* pair, including pairs whose true
+//!    count is 0 — required for privacy);
+//! 3. for every non-power length `m ∈ (2^k, 2^{k+1})`, `C_m` = strings whose
+//!    length-`2^k` prefix **and** suffix are both in `P_{2^k}` (pure
+//!    post-processing: the overlap test never touches the database).
+//!
+//! Each doubling level spends `ε/(⌊log ℓ⌋+1)` (and `δ/(⌊log ℓ⌋+1)`) of the
+//! step's budget; per-level sensitivity is `2ℓ` in L1 (Corollary 3) and
+//! `√(2ℓΔ)` in L2 (Corollary 6, via Hölder).
+//!
+//! ## Lookup engineering
+//! The paper asks substring-concatenation queries against the suffix tree
+//! (\[7,8\]); we answer them with rolling hashes: each level precomputes the
+//! map *hash of distinct `2^k`-substring → SA interval* (one LCP scan via
+//! [`dpsc_textindex::depth_groups`]), so a pair lookup is `O(1)` expected.
+//! Suffix/prefix overlaps for `C_m` are hash comparisons over a pooled
+//! candidate buffer. See DESIGN.md §2 for the substitution rationale.
+
+use std::collections::HashMap;
+
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_dpcore::noise::Noise;
+use dpsc_strkit::hash::HashValue;
+use dpsc_strkit::search::SaInterval;
+use dpsc_textindex::{depth_groups, CorpusIndex};
+use rand::Rng;
+
+/// Configuration for candidate construction.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateParams {
+    /// The clip level `Δ ∈ [1, ℓ]` of `count_Δ`.
+    pub delta_clip: usize,
+    /// Privacy budget for the whole of Step 1.
+    pub privacy: PrivacyParams,
+    /// Failure probability for the whole of Step 1.
+    pub beta: f64,
+    /// Threshold override: if set, use this `τ` instead of the analytic
+    /// `2α`. Privacy is unaffected (thresholding noisy counts is
+    /// post-processing); only the accuracy guarantee changes.
+    pub tau_override: Option<f64>,
+    /// Maximum candidate-set size per level before aborting (paper: `nℓ`).
+    /// `None` uses `nℓ`.
+    pub level_cap_override: Option<usize>,
+}
+
+/// Error: a level exceeded the `nℓ` cap (the paper's FAIL outcome, which
+/// happens with probability ≤ β under the analysis).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateOverflow {
+    /// The level (string length `2^level`) that overflowed.
+    pub level: usize,
+    /// Number of strings that passed the threshold.
+    pub size: usize,
+    /// The cap that was exceeded.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for CandidateOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "candidate level 2^{} overflowed: {} strings > cap {}",
+            self.level, self.size, self.cap
+        )
+    }
+}
+
+impl std::error::Error for CandidateOverflow {}
+
+/// The output of Step 1.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// All candidate strings (the union of the `P_{2^k}` and the `C_m`),
+    /// deduplicated by construction.
+    pub strings: Vec<Vec<u8>>,
+    /// Analytic error bound `α`: strings outside the set have
+    /// `count_Δ < 3α` w.p. ≥ 1−β.
+    pub alpha: f64,
+    /// The threshold used.
+    pub tau: f64,
+    /// Sizes of `P_{2^k}` per level (diagnostics).
+    pub level_sizes: Vec<usize>,
+}
+
+/// Memory safety valve for the overlap extension: at 2^22 strings per
+/// length the construction is already far past any useful regime (the
+/// paper's bound is |C_m| ≤ (nℓ)²), so we stop materializing rather than
+/// exhaust memory.
+pub const OVERLAP_SAFETY_CAP: usize = 1 << 22;
+
+/// One candidate string with its hash in the corpus symbol space.
+#[derive(Debug, Clone)]
+pub(crate) struct Cand {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) hash: HashValue,
+}
+
+/// Output of the doubling phase: the sets `P_{2^0} … P_{2^max_power}` with
+/// the per-level accuracy parameters.
+pub(crate) struct DoublingLevels {
+    pub(crate) levels: Vec<Vec<Cand>>,
+    pub(crate) alpha: f64,
+    pub(crate) tau: f64,
+}
+
+/// Runs the doubling construction `P_{2^0} … P_{2^max_power}`, spending
+/// `privacy` split evenly over the `max_power + 1` levels. Used by the
+/// full candidate construction (`max_power = ⌊log ℓ⌋`) and by the q-gram
+/// algorithm of Theorem 3 (`max_power = ⌊log q⌋`).
+#[allow(clippy::too_many_arguments)] // crate-internal; parameters are the paper's own knobs
+pub(crate) fn doubling_levels<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    delta_clip: usize,
+    privacy: PrivacyParams,
+    beta: f64,
+    gaussian: bool,
+    tau_override: Option<f64>,
+    cap: usize,
+    max_power: usize,
+    rng: &mut R,
+) -> Result<DoublingLevels, CandidateOverflow> {
+    let ell = idx.max_len();
+    let n = idx.n_docs();
+    let sigma = idx.alphabet_size();
+    let num_levels = max_power + 1;
+    let level_privacy = privacy.split_even(num_levels);
+    let beta_level = beta / num_levels as f64;
+    let k_counts = ((ell * ell) as f64 * (n * n) as f64).max(sigma as f64);
+    let (noise, alpha) =
+        level_noise(gaussian, level_privacy, ell, delta_clip, k_counts, beta_level);
+    let tau = tau_override.unwrap_or(2.0 * alpha);
+
+    // Level 0: all letters of Σ (absent letters included, with noise on 0 —
+    // required for privacy).
+    let mut current: Vec<Cand> = Vec::new();
+    for sym_idx in 0..sigma {
+        let letter = idx.alphabet_base() + sym_idx as u8;
+        let c = idx.count_clipped(&[letter], delta_clip) as f64;
+        if c + noise.sample(rng) >= tau {
+            current.push(Cand { bytes: vec![letter], hash: idx.hash_pattern(&[letter]) });
+        }
+    }
+    if current.len() > cap {
+        return Err(CandidateOverflow { level: 0, size: current.len(), cap });
+    }
+    let mut levels = vec![current];
+
+    for k in 1..=max_power {
+        let len = 1usize << k;
+        if len > ell {
+            break;
+        }
+        let current = levels.last().expect("at least level 0");
+        // Distinct length-`len` corpus substrings → SA intervals, for O(1)
+        // expected-time concatenation lookups.
+        let groups = depth_groups(idx, len);
+        let mut count_of: HashMap<HashValue, SaInterval> =
+            HashMap::with_capacity(groups.len());
+        for g in &groups {
+            count_of.insert(idx.substring_hash(g.witness_pos as usize, len), g.interval);
+        }
+        let mut next: Vec<Cand> = Vec::new();
+        'pairs: for q1 in current {
+            for q2 in current {
+                let hash = idx.concat_hash(q1.hash, q2.hash);
+                let true_count = count_of
+                    .get(&hash)
+                    .map(|&iv| idx.count_clipped_in_interval(iv, delta_clip))
+                    .unwrap_or(0) as f64;
+                if true_count + noise.sample(rng) >= tau {
+                    let mut bytes = Vec::with_capacity(len);
+                    bytes.extend_from_slice(&q1.bytes);
+                    bytes.extend_from_slice(&q2.bytes);
+                    next.push(Cand { bytes, hash });
+                    if next.len() > cap {
+                        break 'pairs;
+                    }
+                }
+            }
+        }
+        if next.len() > cap {
+            return Err(CandidateOverflow { level: k, size: next.len(), cap });
+        }
+        levels.push(next);
+    }
+    Ok(DoublingLevels { levels, alpha, tau })
+}
+
+/// Builds the candidate set with Laplace noise (Lemma 6, pure ε-DP).
+pub fn build_candidates_pure<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    params: &CandidateParams,
+    rng: &mut R,
+) -> Result<CandidateSet, CandidateOverflow> {
+    assert!(params.privacy.is_pure(), "Lemma 6 requires δ = 0");
+    build_candidates_impl(idx, params, false, rng)
+}
+
+/// Builds the candidate set with Gaussian noise (Lemma 15, (ε,δ)-DP).
+pub fn build_candidates_approx<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    params: &CandidateParams,
+    rng: &mut R,
+) -> Result<CandidateSet, CandidateOverflow> {
+    assert!(params.privacy.delta > 0.0, "Lemma 15 requires δ > 0");
+    build_candidates_impl(idx, params, true, rng)
+}
+
+/// Per-level noise and the analytic sup-error `α` over `K` counts.
+fn level_noise(
+    gaussian: bool,
+    level_privacy: PrivacyParams,
+    ell: usize,
+    delta_clip: usize,
+    k_counts: f64,
+    beta_level: f64,
+) -> (Noise, f64) {
+    if gaussian {
+        // Corollary 6: L2 ≤ √(2ℓΔ); Corollary 2 sup error.
+        let l2 = (2.0 * ell as f64 * delta_clip as f64).sqrt();
+        let noise = Noise::gaussian_for(level_privacy.epsilon, level_privacy.delta, l2);
+        let alpha = 2.0 * l2 / level_privacy.epsilon
+            * ((2.0 / level_privacy.delta).ln() * (2.0 * k_counts / beta_level).ln()).sqrt();
+        (noise, alpha)
+    } else {
+        // Corollary 3: L1 ≤ 2ℓ; Corollary 1 sup error.
+        let l1 = 2.0 * ell as f64;
+        let noise = Noise::laplace_for(level_privacy.epsilon, l1);
+        let alpha = l1 / level_privacy.epsilon * (k_counts / beta_level).ln();
+        (noise, alpha)
+    }
+}
+
+fn build_candidates_impl<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    params: &CandidateParams,
+    gaussian: bool,
+    rng: &mut R,
+) -> Result<CandidateSet, CandidateOverflow> {
+    let ell = idx.max_len();
+    let n = idx.n_docs();
+    let max_power = (ell as f64).log2().floor() as usize; // ⌊log ℓ⌋
+    let cap = params.level_cap_override.unwrap_or(n * ell);
+
+    let doubling = doubling_levels(
+        idx,
+        params.delta_clip,
+        params.privacy,
+        params.beta,
+        gaussian,
+        params.tau_override,
+        cap,
+        max_power,
+        rng,
+    )?;
+
+    let mut strings: Vec<Vec<u8>> = Vec::new();
+    let mut level_sizes = Vec::with_capacity(doubling.levels.len());
+    for (k, level) in doubling.levels.iter().enumerate() {
+        level_sizes.push(level.len());
+        strings.extend(level.iter().map(|c| c.bytes.clone()));
+        // C_m for 2^k < m < 2^{k+1}: post-processing of P_{2^k} (no
+        // database access, no privacy cost).
+        extend_with_overlaps(idx, level, 1 << k, ell, OVERLAP_SAFETY_CAP, &mut strings);
+    }
+
+    Ok(CandidateSet { strings, alpha: doubling.alpha, tau: doubling.tau, level_sizes })
+}
+
+/// Adds to `out` every string of length `m ∈ (L, 2L)` (`L` = `len`, capped
+/// at ℓ) whose length-`L` prefix and suffix are both in `cands`:
+/// `Q1[0..L] · Q2[2L−m..L]` for every pair with a suffix/prefix overlap of
+/// length `2L − m`.
+///
+/// Matching is hash-indexed: for each overlap length `o`, candidates are
+/// bucketed by length-`o` prefix hash and joined against suffix hashes, so
+/// the cost is `O(|P|·L + matches)` instead of the naive `O(|P|²·L)` — the
+/// practical stand-in for the paper's LCE-based overlap detection (proof of
+/// Lemma 7, Step 2). Hash hits are byte-verified before emission.
+///
+/// `per_length_cap` is a far-away safety valve (callers pass
+/// [`OVERLAP_SAFETY_CAP`]) bounding memory if a noise-flooded candidate
+/// level produces quadratically many overlaps; it binds only in regimes
+/// that are already headed for the paper's FAIL outcome. It must NOT be
+/// used as a tight budget: truncation is arbitrary and could drop frequent
+/// strings. The cap decision never touches the database.
+fn extend_with_overlaps(
+    idx: &CorpusIndex,
+    cands: &[Cand],
+    len: usize,
+    ell: usize,
+    per_length_cap: usize,
+    out: &mut Vec<Vec<u8>>,
+) {
+    if cands.is_empty() || len == 0 {
+        return;
+    }
+    let max_m = (2 * len - 1).min(ell);
+    if max_m <= len {
+        return;
+    }
+    // All prefix/suffix hashes of each candidate in O(len) via a per-string
+    // rolling hash (same parameter space as the corpus, so hashes agree
+    // with `idx.hash_pattern`).
+    struct Hashes {
+        prefix: Vec<HashValue>,
+        suffix: Vec<HashValue>,
+    }
+    let hashes: Vec<Hashes> = cands
+        .iter()
+        .map(|c| {
+            let encoded: Vec<u32> =
+                c.bytes.iter().map(|&b| idx.n_docs() as u32 + b as u32).collect();
+            let h = dpsc_strkit::hash::RollingHash::new(&encoded);
+            let prefix = (0..=len).map(|o| h.substring(0, o)).collect();
+            let suffix = (0..=len).map(|o| h.substring(len - o, len)).collect();
+            Hashes { prefix, suffix }
+        })
+        .collect();
+    for m in len + 1..=max_m {
+        let o = 2 * len - m;
+        // Bucket candidates by their length-o prefix hash.
+        let mut by_prefix: HashMap<HashValue, Vec<u32>> = HashMap::new();
+        for (j, h) in hashes.iter().enumerate() {
+            by_prefix.entry(h.prefix[o]).or_default().push(j as u32);
+        }
+        let mut emitted = 0usize;
+        'outer: for (i, q1) in cands.iter().enumerate() {
+            let Some(js) = by_prefix.get(&hashes[i].suffix[o]) else {
+                continue;
+            };
+            for &j in js {
+                let q2 = &cands[j as usize];
+                // Exact confirmation (hashes are probabilistic).
+                if q1.bytes[len - o..] == q2.bytes[..o] {
+                    let mut s = Vec::with_capacity(m);
+                    s.extend_from_slice(&q1.bytes);
+                    s.extend_from_slice(&q2.bytes[o..]);
+                    out.push(s);
+                    emitted += 1;
+                    if emitted >= per_length_cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsc_strkit::alphabet::Database;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params_with_tau(tau: f64) -> CandidateParams {
+        CandidateParams {
+            delta_clip: usize::MAX / 2, // effectively Δ = ℓ clamp below
+            privacy: PrivacyParams::pure(1e9), // noise ≈ 0
+            beta: 0.1,
+            tau_override: Some(tau),
+            level_cap_override: None,
+        }
+    }
+
+    #[test]
+    fn noiseless_candidates_match_example_2() {
+        // Example 2 of the paper: exact sets with threshold τ = 1.
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = params_with_tau(0.9);
+        p.delta_clip = db.max_len();
+        let set = build_candidates_pure(&idx, &p, &mut rng).unwrap();
+
+        let has = |s: &str| set.strings.iter().any(|x| x == s.as_bytes());
+        // P_1 = {a, b, e, s}
+        for s in ["a", "b", "e", "s"] {
+            assert!(has(s), "missing {s}");
+        }
+        assert!(!has("c"));
+        // P_2 = {aa, ab, ba, be, bs, ee, es, sa}
+        for s in ["aa", "ab", "ba", "be", "bs", "ee", "es", "sa"] {
+            assert!(has(s), "missing {s}");
+        }
+        assert!(!has("bb"));
+        // P_4 = {aaaa, absa, babe, bees, bsab}
+        for s in ["aaaa", "absa", "babe", "bees", "bsab"] {
+            assert!(has(s), "missing {s}");
+        }
+        // C_3 per Example 3 (built from P_2 overlaps).
+        for s in ["aaa", "aab", "aba", "abe", "abs", "baa", "bab", "bee", "bsa", "eee", "saa", "sab"]
+        {
+            assert!(has(s), "missing C_3 string {s}");
+        }
+        // C_5: Example 3 lists {aaaaa, aaaab, absab}, but that example is
+        // derived from the *noisy* P_4 (which spuriously contains "aaab");
+        // the exact sets yield C_5 = {aaaaa, absab}.
+        for s in ["aaaaa", "absab"] {
+            assert!(has(s), "missing C_5 string {s}");
+        }
+        assert!(!has("aaaab"));
+        assert!(!has("abeab"));
+        assert_eq!(set.level_sizes[0], 4);
+        assert_eq!(set.level_sizes[1], 8);
+        assert_eq!(set.level_sizes[2], 5);
+    }
+
+    #[test]
+    fn every_frequent_string_is_covered_noiselessly() {
+        // With τ = 1 and zero noise, C must contain every substring of the
+        // database (Lemma 6's completeness direction in the exact regime).
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = params_with_tau(0.9);
+        p.delta_clip = db.max_len();
+        let set = build_candidates_pure(&idx, &p, &mut rng).unwrap();
+        use std::collections::HashSet;
+        let have: HashSet<&[u8]> = set.strings.iter().map(|s| s.as_slice()).collect();
+        for doc in db.documents() {
+            for i in 0..doc.len() {
+                for j in i + 1..=doc.len() {
+                    assert!(
+                        have.contains(&doc[i..j]),
+                        "substring {:?} of {:?} missing",
+                        std::str::from_utf8(&doc[i..j]).unwrap(),
+                        std::str::from_utf8(doc).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = params_with_tau(0.9);
+        p.delta_clip = db.max_len();
+        let set = build_candidates_pure(&idx, &p, &mut rng).unwrap();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for s in &set.strings {
+            assert!(seen.insert(s.clone()), "duplicate candidate {:?}", s);
+        }
+    }
+
+    #[test]
+    fn high_threshold_prunes_rare_strings() {
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p = params_with_tau(3.0);
+        p.delta_clip = db.max_len();
+        let set = build_candidates_pure(&idx, &p, &mut rng).unwrap();
+        let has = |s: &str| set.strings.iter().any(|x| x == s.as_bytes());
+        // count(a) = 8, count(b) = 6, count(e) = 5, count(s) = 2 < 3.
+        assert!(has("a") && has("b") && has("e"));
+        assert!(!has("s"));
+    }
+
+    #[test]
+    fn gaussian_variant_runs_and_covers_noiselessly() {
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = CandidateParams {
+            delta_clip: db.max_len(),
+            privacy: PrivacyParams::approx(1e9, 1e-9),
+            beta: 0.1,
+            tau_override: Some(0.9),
+            level_cap_override: None,
+        };
+        let set = build_candidates_approx(&idx, &p, &mut rng).unwrap();
+        assert!(set.strings.iter().any(|s| s == b"absab"));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = CandidateParams {
+            delta_clip: db.max_len(),
+            privacy: PrivacyParams::pure(1e9),
+            beta: 0.1,
+            tau_override: Some(0.9),
+            level_cap_override: Some(2),
+        };
+        let err = build_candidates_pure(&idx, &p, &mut rng).unwrap_err();
+        assert_eq!(err.level, 0);
+        assert!(err.size > 2);
+    }
+}

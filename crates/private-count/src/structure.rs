@@ -1,0 +1,424 @@
+//! The published data structure: a pruned trie of noisy counts.
+//!
+//! This is the artifact Theorems 1–4 output. Because its *construction* is
+//! differentially private, the structure can be queried, mined, and
+//! re-mined at arbitrary thresholds with no further privacy loss
+//! (post-processing).
+
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_strkit::trie::Trie;
+
+/// Which count the structure stores: `count_Δ` for some clip level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountMode {
+    /// `Δ = 1`: Document Count.
+    Document,
+    /// `Δ = ℓ`: Substring Count.
+    Substring,
+    /// General `count_Δ`.
+    Clipped(usize),
+}
+
+impl CountMode {
+    /// The clip level `Δ` for a database with maximum document length `ℓ`.
+    pub fn delta_clip(&self, ell: usize) -> usize {
+        match *self {
+            CountMode::Document => 1,
+            CountMode::Substring => ell,
+            CountMode::Clipped(d) => d.clamp(1, ell),
+        }
+    }
+}
+
+impl std::fmt::Display for CountMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CountMode::Document => write!(f, "document (Δ=1)"),
+            CountMode::Substring => write!(f, "substring (Δ=ℓ)"),
+            CountMode::Clipped(d) => write!(f, "clipped (Δ={d})"),
+        }
+    }
+}
+
+/// A differentially private `count_Δ` data structure (Theorems 1–4).
+#[derive(Debug, Clone)]
+pub struct PrivateCountStructure {
+    trie: Trie<f64>,
+    mode: CountMode,
+    privacy: PrivacyParams,
+    /// Error bound on stored counts: for present strings,
+    /// `|count* − count_Δ| ≤ alpha_counts` w.p. ≥ 1−β.
+    alpha_counts: f64,
+    /// Bound for absent strings: any `P` not in the trie has true
+    /// `count_Δ(P, D) ≤ alpha_absent` w.p. ≥ 1−β.
+    alpha_absent: f64,
+    /// Database parameters the guarantees refer to.
+    n_docs: usize,
+    max_len: usize,
+}
+
+impl PrivateCountStructure {
+    /// Assembles a structure from pipeline output. Internal to the crate's
+    /// builders, public for the baselines.
+    pub fn new(
+        trie: Trie<f64>,
+        mode: CountMode,
+        privacy: PrivacyParams,
+        alpha_counts: f64,
+        alpha_absent: f64,
+        n_docs: usize,
+        max_len: usize,
+    ) -> Self {
+        Self { trie, mode, privacy, alpha_counts, alpha_absent, n_docs, max_len }
+    }
+
+    /// Noisy `count_Δ(P, D)`. Absent patterns return 0 (their true count is
+    /// below [`Self::alpha_absent`] w.h.p.). `O(|P|)` time.
+    pub fn query(&self, pattern: &[u8]) -> f64 {
+        match self.trie.walk(pattern) {
+            Some(node) => *self.trie.value(node),
+            None => 0.0,
+        }
+    }
+
+    /// Whether the pattern is represented in the structure.
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.trie.walk(pattern).is_some()
+    }
+
+    /// The count mode (`Δ`).
+    #[inline]
+    pub fn mode(&self) -> CountMode {
+        self.mode
+    }
+
+    /// The privacy guarantee of the construction.
+    #[inline]
+    pub fn privacy(&self) -> PrivacyParams {
+        self.privacy
+    }
+
+    /// Error bound on stored noisy counts (high probability).
+    #[inline]
+    pub fn alpha_counts(&self) -> f64 {
+        self.alpha_counts
+    }
+
+    /// True-count bound for strings not present in the structure.
+    #[inline]
+    pub fn alpha_absent(&self) -> f64 {
+        self.alpha_absent
+    }
+
+    /// Overall additive error `α` of the data structure: valid for *all*
+    /// patterns, present (count error) or absent (missed mass).
+    pub fn alpha(&self) -> f64 {
+        self.alpha_counts.max(self.alpha_absent)
+    }
+
+    /// Number of trie nodes (paper: `O(nℓ²)` after pruning).
+    pub fn node_count(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Database size parameters `(n, ℓ)` the structure was built from.
+    pub fn db_params(&self) -> (usize, usize) {
+        (self.n_docs, self.max_len)
+    }
+
+    /// Nodes per depth, for size audits.
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        self.trie.depth_histogram()
+    }
+
+    /// Direct access to the underlying trie (read-only).
+    pub fn trie(&self) -> &Trie<f64> {
+        &self.trie
+    }
+
+    /// `α`-approximate substring mining (Definition 2): every string whose
+    /// noisy count is at least `tau`, with its noisy count.
+    ///
+    /// Guarantee (with the structure's `α`): all strings with
+    /// `count_Δ ≥ τ + α` are output; no string with `count_Δ ≤ τ − α` is.
+    /// Pure post-processing — call with as many thresholds as you like.
+    pub fn mine(&self, tau: f64) -> Vec<(Vec<u8>, f64)> {
+        let mut out = Vec::new();
+        for node in self.trie.dfs() {
+            if node == Trie::<f64>::ROOT {
+                continue;
+            }
+            let v = *self.trie.value(node);
+            if v >= tau {
+                out.push((self.trie.string_of(node), v));
+            }
+        }
+        out
+    }
+
+    /// `α`-approximate q-gram mining: like [`Self::mine`] restricted to
+    /// strings of length exactly `q`.
+    pub fn mine_qgrams(&self, q: usize, tau: f64) -> Vec<(Vec<u8>, f64)> {
+        let mut out = Vec::new();
+        for node in self.trie.dfs() {
+            if self.trie.depth(node) == q {
+                let v = *self.trie.value(node);
+                if v >= tau {
+                    out.push((self.trie.string_of(node), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` strings with the largest noisy counts (post-processing;
+    /// ties broken lexicographically by the DFS order). Restricting to a
+    /// fixed length via `fixed_len` gives top-k q-grams.
+    pub fn mine_top_k(&self, k: usize, fixed_len: Option<usize>) -> Vec<(Vec<u8>, f64)> {
+        let mut all: Vec<(Vec<u8>, f64)> = self
+            .trie
+            .dfs()
+            .filter(|&n| n != Trie::<f64>::ROOT)
+            .filter(|&n| fixed_len.is_none_or(|q| self.trie.depth(n) == q))
+            .map(|n| (self.trie.string_of(n), *self.trie.value(n)))
+            .collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Serializes the structure to a line-oriented text format (the
+    /// publishable artifact — remember that everything in here is already
+    /// differentially private, so the file may be shared freely).
+    ///
+    /// Format: a header line
+    /// `dpsc-v1 <mode> <epsilon> <delta> <alpha_counts> <alpha_absent> <n> <ell>`
+    /// followed by one `hex(pattern)\tcount` line per non-root node in DFS
+    /// order (the root's count is stored with an empty hex pattern).
+    pub fn to_text(&self) -> String {
+        let mode = match self.mode {
+            CountMode::Document => "document".to_string(),
+            CountMode::Substring => "substring".to_string(),
+            CountMode::Clipped(d) => format!("clipped:{d}"),
+        };
+        let mut out = format!(
+            "dpsc-v1 {mode} {} {:e} {} {} {} {}\n",
+            self.privacy.epsilon,
+            self.privacy.delta,
+            self.alpha_counts,
+            self.alpha_absent,
+            self.n_docs,
+            self.max_len,
+        );
+        for node in self.trie.dfs() {
+            let pat = self.trie.string_of(node);
+            let hex: String = pat.iter().map(|b| format!("{b:02x}")).collect();
+            out.push_str(&format!("{hex}\t{}\n", self.trie.value(node)));
+        }
+        out
+    }
+
+    /// Parses a structure previously written by [`Self::to_text`].
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty input")?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 8 || fields[0] != "dpsc-v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let mode = match fields[1] {
+            "document" => CountMode::Document,
+            "substring" => CountMode::Substring,
+            other => match other.strip_prefix("clipped:") {
+                Some(d) => CountMode::Clipped(
+                    d.parse().map_err(|e| format!("bad clip level: {e}"))?,
+                ),
+                None => return Err(format!("bad mode: {other:?}")),
+            },
+        };
+        let parse_f = |s: &str, what: &str| -> Result<f64, String> {
+            s.parse::<f64>().map_err(|e| format!("bad {what}: {e}"))
+        };
+        let epsilon = parse_f(fields[2], "epsilon")?;
+        let delta = parse_f(fields[3], "delta")?;
+        let alpha_counts = parse_f(fields[4], "alpha_counts")?;
+        let alpha_absent = parse_f(fields[5], "alpha_absent")?;
+        let n_docs: usize = fields[6].parse().map_err(|e| format!("bad n: {e}"))?;
+        let max_len: usize = fields[7].parse().map_err(|e| format!("bad ℓ: {e}"))?;
+        let privacy = if delta == 0.0 {
+            PrivacyParams::pure(epsilon)
+        } else {
+            PrivacyParams::approx(epsilon, delta)
+        };
+
+        let mut trie: Trie<f64> = Trie::new(0.0);
+        let mut saw_root = false;
+        for (lineno, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (hex, count) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: missing tab", lineno + 2))?;
+            let count: f64 =
+                count.parse().map_err(|e| format!("line {}: bad count: {e}", lineno + 2))?;
+            if hex.is_empty() {
+                *trie.value_mut(Trie::<f64>::ROOT) = count;
+                saw_root = true;
+                continue;
+            }
+            if hex.len() % 2 != 0 {
+                return Err(format!("line {}: odd hex length", lineno + 2));
+            }
+            let pat: Result<Vec<u8>, String> = (0..hex.len() / 2)
+                .map(|i| {
+                    u8::from_str_radix(&hex[2 * i..2 * i + 2], 16)
+                        .map_err(|e| format!("line {}: bad hex: {e}", lineno + 2))
+                })
+                .collect();
+            let node = trie.insert_path(&pat?, |_| 0.0);
+            *trie.value_mut(node) = count;
+        }
+        if !saw_root {
+            return Err("missing root line".to_string());
+        }
+        Ok(Self::new(trie, mode, privacy, alpha_counts, alpha_absent, n_docs, max_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_structure() -> PrivateCountStructure {
+        let mut trie: Trie<f64> = Trie::new(20.0);
+        let a = trie.insert_path(b"a", |_| 0.0);
+        let ab = trie.insert_path(b"ab", |_| 0.0);
+        let b = trie.insert_path(b"b", |_| 0.0);
+        *trie.value_mut(a) = 8.2;
+        *trie.value_mut(ab) = 4.1;
+        *trie.value_mut(b) = 6.0;
+        PrivateCountStructure::new(
+            trie,
+            CountMode::Substring,
+            PrivacyParams::pure(1.0),
+            1.5,
+            2.5,
+            6,
+            5,
+        )
+    }
+
+    #[test]
+    fn query_present_and_absent() {
+        let s = toy_structure();
+        assert_eq!(s.query(b"ab"), 4.1);
+        assert_eq!(s.query(b"zz"), 0.0);
+        assert_eq!(s.query(b""), 20.0);
+        assert!(s.contains(b"a"));
+        assert!(!s.contains(b"abc"));
+        assert_eq!(s.alpha(), 2.5);
+    }
+
+    #[test]
+    fn mining_thresholds() {
+        let s = toy_structure();
+        let mined = s.mine(5.0);
+        let strings: Vec<&[u8]> = mined.iter().map(|(s, _)| s.as_slice()).collect();
+        assert_eq!(strings, vec![&b"a"[..], &b"b"[..]]);
+        // Lower threshold includes "ab"; the root (empty string) is never
+        // reported.
+        assert_eq!(s.mine(4.0).len(), 3);
+        assert_eq!(s.mine(100.0).len(), 0);
+    }
+
+    #[test]
+    fn qgram_mining_filters_by_length() {
+        let s = toy_structure();
+        let grams = s.mine_qgrams(1, 0.0);
+        assert_eq!(grams.len(), 2);
+        let grams2 = s.mine_qgrams(2, 0.0);
+        assert_eq!(grams2.len(), 1);
+        assert_eq!(grams2[0].0, b"ab".to_vec());
+    }
+
+    #[test]
+    fn top_k_mining() {
+        let s = toy_structure();
+        let top2 = s.mine_top_k(2, None);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].0, b"a".to_vec());
+        assert_eq!(top2[1].0, b"b".to_vec());
+        let top_len2 = s.mine_top_k(10, Some(2));
+        assert_eq!(top_len2.len(), 1);
+        assert_eq!(top_len2[0].0, b"ab".to_vec());
+    }
+
+    #[test]
+    fn text_serialization_roundtrip() {
+        let s = toy_structure();
+        let text = s.to_text();
+        let back = PrivateCountStructure::from_text(&text).expect("parses");
+        assert_eq!(back.node_count(), s.node_count());
+        assert_eq!(back.mode(), s.mode());
+        assert_eq!(back.privacy().epsilon, s.privacy().epsilon);
+        assert_eq!(back.alpha_counts(), s.alpha_counts());
+        assert_eq!(back.db_params(), s.db_params());
+        for pat in [&b""[..], b"a", b"ab", b"b", b"zz"] {
+            assert_eq!(back.query(pat), s.query(pat), "pattern {pat:?}");
+        }
+        // Mining agrees too.
+        assert_eq!(back.mine(5.0), s.mine(5.0));
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(PrivateCountStructure::from_text("").is_err());
+        assert!(PrivateCountStructure::from_text("nonsense header").is_err());
+        assert!(PrivateCountStructure::from_text(
+            "dpsc-v1 substring 1 0e0 1 2 6 5\nzz\t1.0\n"
+        )
+        .is_err()); // bad hex
+        assert!(PrivateCountStructure::from_text(
+            "dpsc-v1 substring 1 0e0 1 2 6 5\n61 1.0\n"
+        )
+        .is_err()); // missing tab
+        // Valid minimal: root only.
+        let ok = PrivateCountStructure::from_text("dpsc-v1 document 1 0e0 1 2 6 5\n\t9.5\n")
+            .expect("valid");
+        assert_eq!(ok.query(b""), 9.5);
+        assert_eq!(ok.mode(), CountMode::Document);
+    }
+
+    #[test]
+    fn clipped_mode_roundtrips_through_text() {
+        let mut trie: Trie<f64> = Trie::new(1.0);
+        let n = trie.insert_path(b"xy", |_| 0.0);
+        *trie.value_mut(n) = 3.5;
+        let s = PrivateCountStructure::new(
+            trie,
+            CountMode::Clipped(7),
+            PrivacyParams::approx(0.5, 1e-7),
+            1.0,
+            2.0,
+            10,
+            20,
+        );
+        let back = PrivateCountStructure::from_text(&s.to_text()).unwrap();
+        assert_eq!(back.mode(), CountMode::Clipped(7));
+        assert!((back.privacy().delta - 1e-7).abs() < 1e-20);
+        assert_eq!(back.query(b"xy"), 3.5);
+    }
+
+    #[test]
+    fn count_mode_delta() {
+        assert_eq!(CountMode::Document.delta_clip(10), 1);
+        assert_eq!(CountMode::Substring.delta_clip(10), 10);
+        assert_eq!(CountMode::Clipped(3).delta_clip(10), 3);
+        assert_eq!(CountMode::Clipped(30).delta_clip(10), 10);
+        assert_eq!(CountMode::Clipped(0).delta_clip(10), 1);
+    }
+}

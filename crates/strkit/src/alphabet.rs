@@ -1,0 +1,355 @@
+//! Alphabets and document collections.
+//!
+//! The paper's data universe is `Σ^[1,ℓ]`: documents are non-empty strings of
+//! length at most `ℓ` over an alphabet `Σ`. [`Alphabet`] captures `Σ` as a
+//! contiguous range of byte values (all generators in `dpsc-workloads` emit
+//! such alphabets), and [`Database`] captures the collection
+//! `D = S_1, …, S_n` together with its parameters `n`, `ℓ`, `|Σ|`.
+
+use std::fmt;
+
+/// A finite alphabet `Σ`, represented as a contiguous byte range
+/// `[base, base + size)`.
+///
+/// Keeping the alphabet contiguous makes symbol ↔ index conversion free and
+/// lets the candidate-set construction of the paper's Step 1 iterate over
+/// "all letters γ ∈ Σ" without an auxiliary table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Alphabet {
+    base: u8,
+    size: u16,
+}
+
+impl Alphabet {
+    /// Creates an alphabet of `size` symbols starting at byte `base`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `base as usize + size > 256`.
+    pub fn new(base: u8, size: u16) -> Self {
+        assert!(size > 0, "alphabet must be non-empty");
+        assert!(
+            base as usize + size as usize <= 256,
+            "alphabet range exceeds byte values"
+        );
+        Self { base, size }
+    }
+
+    /// The lowercase ASCII alphabet `a..=z` truncated to `size` symbols.
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `size > 26`.
+    pub fn lowercase(size: u16) -> Self {
+        assert!((1..=26).contains(&size), "lowercase alphabet size must be 1..=26");
+        Self::new(b'a', size)
+    }
+
+    /// The DNA alphabet `{A, C, G, T}` (as a contiguous range it is encoded
+    /// `0..4`; use [`Alphabet::dna_decode`] for display).
+    pub fn dna() -> Self {
+        Self::new(0, 4)
+    }
+
+    /// Decodes a DNA-encoded byte (0..4) to its ASCII letter.
+    pub fn dna_decode(sym: u8) -> char {
+        match sym {
+            0 => 'A',
+            1 => 'C',
+            2 => 'G',
+            3 => 'T',
+            _ => '?',
+        }
+    }
+
+    /// Binary alphabet `{0, 1}` over raw bytes 0 and 1.
+    pub fn binary() -> Self {
+        Self::new(0, 2)
+    }
+
+    /// Number of symbols `|Σ|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Smallest byte value in the alphabet.
+    #[inline]
+    pub fn base(&self) -> u8 {
+        self.base
+    }
+
+    /// Returns `true` iff `b` is a symbol of this alphabet.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        b >= self.base && (b as usize) < self.base as usize + self.size as usize
+    }
+
+    /// Iterates over all symbols of the alphabet in increasing order.
+    pub fn symbols(&self) -> impl Iterator<Item = u8> + '_ {
+        (self.base as usize..self.base as usize + self.size as usize).map(|b| b as u8)
+    }
+
+    /// Converts a symbol to its 0-based index within the alphabet.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `b` is not in the alphabet.
+    #[inline]
+    pub fn index_of(&self, b: u8) -> usize {
+        debug_assert!(self.contains(b), "symbol {b} outside alphabet");
+        (b - self.base) as usize
+    }
+
+    /// Converts a 0-based index to the corresponding symbol.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `idx >= self.size()`.
+    #[inline]
+    pub fn symbol_at(&self, idx: usize) -> u8 {
+        debug_assert!(idx < self.size(), "index {idx} outside alphabet");
+        self.base + idx as u8
+    }
+
+    /// Checks that every byte of `s` belongs to the alphabet.
+    pub fn validate(&self, s: &[u8]) -> bool {
+        s.iter().all(|&b| self.contains(b))
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Σ[{}..{}] (|Σ|={})", self.base, self.base as usize + self.size(), self.size())
+    }
+}
+
+/// A database `D = S_1, …, S_n` of documents over an [`Alphabet`].
+///
+/// Documents are byte strings of length in `[1, ℓ]`. `ℓ` is the *declared*
+/// maximum length: the privacy analysis of the paper is in terms of the
+/// declared `ℓ`, which upper-bounds every document (neighboring databases
+/// replace one document by another of length ≤ ℓ).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    alphabet: Alphabet,
+    max_len: usize,
+    documents: Vec<Vec<u8>>,
+}
+
+impl Database {
+    /// Creates a database, validating every document against the alphabet
+    /// and the declared maximum length `max_len` (= `ℓ`).
+    ///
+    /// # Errors
+    /// Returns a description of the first offending document if any document
+    /// is empty, longer than `max_len`, or contains symbols outside the
+    /// alphabet.
+    pub fn new(
+        alphabet: Alphabet,
+        max_len: usize,
+        documents: Vec<Vec<u8>>,
+    ) -> Result<Self, DatabaseError> {
+        assert!(max_len > 0, "max_len must be positive");
+        for (i, doc) in documents.iter().enumerate() {
+            if doc.is_empty() {
+                return Err(DatabaseError::EmptyDocument { index: i });
+            }
+            if doc.len() > max_len {
+                return Err(DatabaseError::TooLong { index: i, len: doc.len(), max_len });
+            }
+            if !alphabet.validate(doc) {
+                return Err(DatabaseError::BadSymbol { index: i });
+            }
+        }
+        Ok(Self { alphabet, max_len, documents })
+    }
+
+    /// Convenience constructor that infers `ℓ` as the longest document length
+    /// (at least 1) and validates symbols.
+    pub fn from_documents(
+        alphabet: Alphabet,
+        documents: Vec<Vec<u8>>,
+    ) -> Result<Self, DatabaseError> {
+        let max_len = documents.iter().map(Vec::len).max().unwrap_or(1).max(1);
+        Self::new(alphabet, max_len, documents)
+    }
+
+    /// The paper's running example (Example 1):
+    /// `D = {aaaa, abe, absab, babe, bee, bees}` over `Σ = {a, …, z}`.
+    pub fn paper_example() -> Self {
+        let docs = ["aaaa", "abe", "absab", "babe", "bee", "bees"]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
+        Self::new(Alphabet::lowercase(26), 5, docs).expect("paper example is valid")
+    }
+
+    /// Number of documents `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Declared maximum document length `ℓ`.
+    #[inline]
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// The alphabet `Σ`.
+    #[inline]
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// The documents.
+    #[inline]
+    pub fn documents(&self) -> &[Vec<u8>] {
+        &self.documents
+    }
+
+    /// Document `i`.
+    #[inline]
+    pub fn document(&self, i: usize) -> &[u8] {
+        &self.documents[i]
+    }
+
+    /// Total number of symbols across all documents (≤ `nℓ`).
+    pub fn total_len(&self) -> usize {
+        self.documents.iter().map(Vec::len).sum()
+    }
+
+    /// Replaces document `i` with `replacement`, yielding a *neighboring*
+    /// database in the sense of the paper (Definition 1's neighboring
+    /// relation `D ∼ D'`).
+    ///
+    /// # Errors
+    /// Same validation as [`Database::new`] applied to the replacement.
+    pub fn neighbor_replacing(
+        &self,
+        i: usize,
+        replacement: Vec<u8>,
+    ) -> Result<Self, DatabaseError> {
+        assert!(i < self.n(), "document index out of range");
+        if replacement.is_empty() {
+            return Err(DatabaseError::EmptyDocument { index: i });
+        }
+        if replacement.len() > self.max_len {
+            return Err(DatabaseError::TooLong {
+                index: i,
+                len: replacement.len(),
+                max_len: self.max_len,
+            });
+        }
+        if !self.alphabet.validate(&replacement) {
+            return Err(DatabaseError::BadSymbol { index: i });
+        }
+        let mut documents = self.documents.clone();
+        documents[i] = replacement;
+        Ok(Self { alphabet: self.alphabet, max_len: self.max_len, documents })
+    }
+}
+
+/// Validation failure when constructing a [`Database`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatabaseError {
+    /// Document `index` is empty (the universe is `Σ^[1,ℓ]`, not `Σ^[0,ℓ]`).
+    EmptyDocument { index: usize },
+    /// Document `index` has `len > max_len`.
+    TooLong { index: usize, len: usize, max_len: usize },
+    /// Document `index` contains a byte outside the alphabet.
+    BadSymbol { index: usize },
+}
+
+impl fmt::Display for DatabaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDocument { index } => write!(f, "document {index} is empty"),
+            Self::TooLong { index, len, max_len } => {
+                write!(f, "document {index} has length {len} > ℓ = {max_len}")
+            }
+            Self::BadSymbol { index } => {
+                write!(f, "document {index} contains a symbol outside the alphabet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatabaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_roundtrip() {
+        let a = Alphabet::lowercase(4);
+        assert_eq!(a.size(), 4);
+        assert!(a.contains(b'a') && a.contains(b'd'));
+        assert!(!a.contains(b'e'));
+        let syms: Vec<u8> = a.symbols().collect();
+        assert_eq!(syms, vec![b'a', b'b', b'c', b'd']);
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(a.index_of(*s), i);
+            assert_eq!(a.symbol_at(i), *s);
+        }
+    }
+
+    #[test]
+    fn dna_alphabet() {
+        let a = Alphabet::dna();
+        assert_eq!(a.size(), 4);
+        assert_eq!(Alphabet::dna_decode(2), 'G');
+    }
+
+    #[test]
+    #[should_panic]
+    fn alphabet_overflow_panics() {
+        let _ = Alphabet::new(250, 10);
+    }
+
+    #[test]
+    fn database_validation() {
+        let a = Alphabet::lowercase(3);
+        assert!(Database::new(a, 4, vec![b"abc".to_vec()]).is_ok());
+        assert!(matches!(
+            Database::new(a, 4, vec![vec![]]),
+            Err(DatabaseError::EmptyDocument { index: 0 })
+        ));
+        assert!(matches!(
+            Database::new(a, 2, vec![b"abc".to_vec()]),
+            Err(DatabaseError::TooLong { .. })
+        ));
+        assert!(matches!(
+            Database::new(a, 4, vec![b"abz".to_vec()]),
+            Err(DatabaseError::BadSymbol { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn paper_example_counts() {
+        let db = Database::paper_example();
+        assert_eq!(db.n(), 6);
+        assert_eq!(db.max_len(), 5);
+        // count_1(ab, D) = 3, count(ab, D) = 4 (Example 1).
+        let doc_count = db
+            .documents()
+            .iter()
+            .filter(|d| crate::naive_contains(b"ab", d))
+            .count();
+        let sub_count: usize = db.documents().iter().map(|d| crate::naive_count(b"ab", d)).sum();
+        assert_eq!(doc_count, 3);
+        assert_eq!(sub_count, 4);
+    }
+
+    #[test]
+    fn neighbor_replacing_is_single_substitution() {
+        let db = Database::paper_example();
+        let nb = db.neighbor_replacing(2, b"zzz".to_vec()).unwrap();
+        assert_eq!(nb.n(), db.n());
+        let diff = db
+            .documents()
+            .iter()
+            .zip(nb.documents())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1);
+    }
+}

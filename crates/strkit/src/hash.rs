@@ -1,0 +1,175 @@
+//! Double polynomial rolling hashes modulo two Mersenne-like primes.
+//!
+//! Used as the fast path for substring-concatenation lookups (the paper's
+//! substring concatenation queries of \[7, 8\]): given candidate halves `Q_1`,
+//! `Q_2`, we can compare `hash(Q_1 · Q_2)` against precomputed substring
+//! hashes of the corpus in `O(1)` and fall back to suffix-array binary search
+//! to confirm (hashes alone are probabilistic; the SA confirms exactly).
+
+const MOD1: u64 = (1 << 61) - 1; // Mersenne prime 2^61 - 1
+const MOD2: u64 = (1 << 31) - 1; // Mersenne prime 2^31 - 1
+const BASE1: u64 = 0x9E37_79B9; // fixed odd bases; collision analysis below
+const BASE2: u64 = 0x85EB_CA6B;
+
+#[inline]
+fn mul_mod1(a: u64, b: u64) -> u64 {
+    // 2^61-1 fits products in u128 with a cheap fold.
+    let prod = a as u128 * b as u128;
+    let lo = (prod & MOD1 as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut r = lo + hi;
+    if r >= MOD1 {
+        r -= MOD1;
+    }
+    r
+}
+
+#[inline]
+fn mul_mod2(a: u64, b: u64) -> u64 {
+    (a * b) % MOD2
+}
+
+/// Precomputed prefix hashes allowing `O(1)` hashes of any substring and
+/// `O(1)` hashes of concatenations of two substrings.
+///
+/// The false-positive probability of a single comparison over a corpus of
+/// length `N` is roughly `N / 2^92` (two independent moduli), negligible for
+/// every workload in this repository; exact confirmation paths exist where
+/// correctness is load-bearing.
+#[derive(Debug, Clone)]
+pub struct RollingHash {
+    pre1: Vec<u64>,
+    pre2: Vec<u64>,
+    pow1: Vec<u64>,
+    pow2: Vec<u64>,
+}
+
+/// Hash value of a string: `(h mod p1, h mod p2, length)`.
+///
+/// The length is part of the identity so that concatenation is well defined
+/// and strings of different lengths never compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashValue {
+    h1: u64,
+    h2: u64,
+    len: u32,
+}
+
+impl HashValue {
+    /// Hash of the empty string.
+    pub const EMPTY: Self = Self { h1: 0, h2: 0, len: 0 };
+
+    /// Length of the hashed string.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether this hashes the empty string.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl RollingHash {
+    /// Preprocesses `text` over any integer alphabet in `O(n)`.
+    pub fn new(text: &[u32]) -> Self {
+        let n = text.len();
+        let mut pre1 = Vec::with_capacity(n + 1);
+        let mut pre2 = Vec::with_capacity(n + 1);
+        let mut pow1 = Vec::with_capacity(n + 1);
+        let mut pow2 = Vec::with_capacity(n + 1);
+        pre1.push(0);
+        pre2.push(0);
+        pow1.push(1);
+        pow2.push(1);
+        for (i, &c) in text.iter().enumerate() {
+            // Shift symbols by +1 so the zero symbol does not collide with
+            // "absent".
+            let c1 = c as u64 + 1;
+            pre1.push((mul_mod1(pre1[i], BASE1) + c1) % MOD1);
+            pre2.push((mul_mod2(pre2[i], BASE2) + c1) % MOD2);
+            pow1.push(mul_mod1(pow1[i], BASE1));
+            pow2.push(mul_mod2(pow2[i], BASE2));
+        }
+        Self { pre1, pre2, pow1, pow2 }
+    }
+
+    /// Preprocesses a byte text.
+    pub fn from_bytes(text: &[u8]) -> Self {
+        let ints: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+        Self::new(&ints)
+    }
+
+    /// Hash of `text[lo..hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi >= len` is violated.
+    pub fn substring(&self, lo: usize, hi: usize) -> HashValue {
+        assert!(lo <= hi && hi < self.pre1.len(), "substring range out of bounds");
+        let len = hi - lo;
+        let h1 = (self.pre1[hi] + MOD1 - mul_mod1(self.pre1[lo], self.pow1[len])) % MOD1;
+        let h2 = (self.pre2[hi] + MOD2 - mul_mod2(self.pre2[lo], self.pow2[len])) % MOD2;
+        HashValue { h1, h2, len: len as u32 }
+    }
+
+    /// Hash of the concatenation `a · b` in `O(1)`.
+    pub fn concat(&self, a: HashValue, b: HashValue) -> HashValue {
+        let h1 = (mul_mod1(a.h1, self.pow1[b.len as usize]) + b.h1) % MOD1;
+        let h2 = (mul_mod2(a.h2, self.pow2[b.len as usize]) + b.h2) % MOD2;
+        HashValue { h1, h2, len: a.len + b.len }
+    }
+}
+
+/// Hashes an arbitrary standalone byte string with the same parameters, so
+/// results are comparable to [`RollingHash::substring`] values.
+pub fn hash_bytes(s: &[u8]) -> HashValue {
+    let mut h1: u64 = 0;
+    let mut h2: u64 = 0;
+    for &b in s {
+        let c = b as u64 + 1;
+        h1 = (mul_mod1(h1, BASE1) + c) % MOD1;
+        h2 = (mul_mod2(h2, BASE2) + c) % MOD2;
+    }
+    HashValue { h1, h2, len: s.len() as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_equality() {
+        let text = b"abracadabra";
+        let h = RollingHash::from_bytes(text);
+        // "abra" at 0 and 7.
+        assert_eq!(h.substring(0, 4), h.substring(7, 11));
+        // "a" everywhere.
+        assert_eq!(h.substring(0, 1), h.substring(3, 4));
+        assert_ne!(h.substring(0, 1), h.substring(1, 2));
+        // Different lengths never equal even with same prefix.
+        assert_ne!(h.substring(0, 1), h.substring(0, 2));
+    }
+
+    #[test]
+    fn concat_matches_direct() {
+        let text = b"abcabcxyz";
+        let h = RollingHash::from_bytes(text);
+        let ab = h.substring(0, 2);
+        let cx = h.substring(5, 7);
+        let cat = h.concat(ab, cx);
+        assert_eq!(cat, hash_bytes(b"abcx"));
+        assert_eq!(h.concat(HashValue::EMPTY, ab), ab);
+        assert_eq!(h.concat(ab, HashValue::EMPTY), ab);
+    }
+
+    #[test]
+    fn standalone_matches_preprocessed() {
+        let text = b"hello world";
+        let h = RollingHash::from_bytes(text);
+        assert_eq!(h.substring(0, 5), hash_bytes(b"hello"));
+        assert_eq!(h.substring(6, 11), hash_bytes(b"world"));
+        assert_eq!(h.substring(0, 0), HashValue::EMPTY);
+    }
+}

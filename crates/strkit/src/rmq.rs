@@ -1,0 +1,105 @@
+//! Sparse-table range-minimum queries.
+//!
+//! `O(N log N)` preprocessing, `O(1)` query. This is the substitute for the
+//! constant-time LCE machinery of Bender–Farach-Colton / Harel–Tarjan
+//! \[6, 45\] cited by the paper: the answers are identical, only the
+//! preprocessing exponent differs (see DESIGN.md §2).
+
+/// Sparse table over `u32` values answering *position* of the minimum in a
+/// half-open range.
+#[derive(Debug, Clone)]
+pub struct SparseTableRmq {
+    /// `table[k][i]` = index of the minimum in `values[i .. i + 2^k]`.
+    table: Vec<Vec<u32>>,
+    values: Vec<u32>,
+}
+
+impl SparseTableRmq {
+    /// Builds the table over `values`.
+    pub fn new(values: &[u32]) -> Self {
+        let n = values.len();
+        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize + 1 };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..n as u32).collect());
+        let mut k = 1usize;
+        while (1usize << k) <= n {
+            let half = 1usize << (k - 1);
+            let prev = &table[k - 1];
+            let mut row = Vec::with_capacity(n - (1 << k) + 1);
+            for i in 0..=(n - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if values[a as usize] <= values[b as usize] { a } else { b });
+            }
+            table.push(row);
+            k += 1;
+        }
+        Self { table, values: values.to_vec() }
+    }
+
+    /// Index of the minimum value in `values[lo..hi)`. Ties resolve to the
+    /// leftmost position.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `hi > len`.
+    #[inline]
+    pub fn argmin(&self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi && hi <= self.values.len(), "empty or out-of-range RMQ");
+        let k = (usize::BITS - 1 - (hi - lo).leading_zeros()) as usize;
+        let a = self.table[k][lo];
+        let b = self.table[k][hi - (1 << k)];
+        // Prefer the leftmost index on ties for determinism.
+        let (va, vb) = (self.values[a as usize], self.values[b as usize]);
+        if va < vb || (va == vb && a <= b) {
+            a as usize
+        } else {
+            b as usize
+        }
+    }
+
+    /// Minimum value in `values[lo..hi)`.
+    #[inline]
+    pub fn min(&self, lo: usize, hi: usize) -> u32 {
+        self.values[self.argmin(lo, hi)]
+    }
+
+    /// The underlying values.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_scan() {
+        let vals: Vec<u32> = vec![5, 3, 8, 3, 1, 9, 2, 2, 7, 0, 4];
+        let rmq = SparseTableRmq::new(&vals);
+        for lo in 0..vals.len() {
+            for hi in lo + 1..=vals.len() {
+                let naive = vals[lo..hi].iter().min().copied().unwrap();
+                assert_eq!(rmq.min(lo, hi), naive, "range [{lo},{hi})");
+                let arg = rmq.argmin(lo, hi);
+                assert!(arg >= lo && arg < hi);
+                assert_eq!(vals[arg], naive);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let rmq = SparseTableRmq::new(&[7]);
+        assert_eq!(rmq.min(0, 1), 7);
+        assert_eq!(rmq.argmin(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_range_panics() {
+        let rmq = SparseTableRmq::new(&[1, 2]);
+        let _ = rmq.min(1, 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Counted tries over byte strings.
+//!
+//! The paper's data structures are tries `T_C` whose nodes `v` represent
+//! strings `str(v)` and carry counts (true counts during construction, noisy
+//! counts in the published structure). [`Trie`] is an arena-allocated trie
+//! generic over the per-node payload, with the operations the pipeline
+//! needs: path insertion, pattern walking (`O(|P|)` queries, Theorems 1–4),
+//! subtree pruning (Step 6), and DFS traversal for mining.
+
+/// Identifier of a trie node (index into the arena). The root is always
+/// [`Trie::ROOT`].
+pub type NodeId = u32;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    parent: NodeId,
+    /// Edge label from the parent (undefined for the root).
+    symbol: u8,
+    /// Children sorted by edge symbol (binary-searchable).
+    children: Vec<NodeId>,
+    depth: u32,
+    value: V,
+}
+
+/// Arena trie with one payload value of type `V` per node.
+#[derive(Debug, Clone)]
+pub struct Trie<V> {
+    nodes: Vec<Node<V>>,
+}
+
+impl<V> Trie<V> {
+    /// The root node id.
+    pub const ROOT: NodeId = 0;
+
+    /// Creates a trie containing only the root, carrying `root_value`.
+    pub fn new(root_value: V) -> Self {
+        Self {
+            nodes: vec![Node {
+                parent: Self::ROOT,
+                symbol: 0,
+                children: Vec::new(),
+                depth: 0,
+                value: root_value,
+            }],
+        }
+    }
+
+    /// Number of nodes (including the root).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the trie has only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The child of `node` along `symbol`, if present.
+    pub fn child(&self, node: NodeId, symbol: u8) -> Option<NodeId> {
+        let kids = &self.nodes[node as usize].children;
+        kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol)
+            .ok()
+            .map(|i| kids[i])
+    }
+
+    /// Ensures a child of `node` along `symbol` exists (creating it with
+    /// `default` if needed) and returns its id.
+    pub fn ensure_child(&mut self, node: NodeId, symbol: u8, default: V) -> NodeId {
+        let pos = {
+            let kids = &self.nodes[node as usize].children;
+            match kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol) {
+                Ok(i) => return kids[i],
+                Err(i) => i,
+            }
+        };
+        let id = self.nodes.len() as NodeId;
+        let depth = self.nodes[node as usize].depth + 1;
+        self.nodes.push(Node { parent: node, symbol, children: Vec::new(), depth, value: default });
+        self.nodes[node as usize].children.insert(pos, id);
+        id
+    }
+
+    /// Inserts the full path for `s`, creating missing nodes with values from
+    /// `default(depth)`, and returns the id of the terminal node.
+    pub fn insert_path(&mut self, s: &[u8], mut default: impl FnMut(usize) -> V) -> NodeId {
+        let mut cur = Self::ROOT;
+        for (i, &b) in s.iter().enumerate() {
+            cur = self.ensure_child(cur, b, default(i + 1));
+        }
+        cur
+    }
+
+    /// Walks the pattern from the root; returns the node spelling `pattern`
+    /// if it exists. `O(|pattern| log |Σ|)`.
+    pub fn walk(&self, pattern: &[u8]) -> Option<NodeId> {
+        let mut cur = Self::ROOT;
+        for &b in pattern {
+            cur = self.child(cur, b)?;
+        }
+        Some(cur)
+    }
+
+    /// The payload of `node`.
+    #[inline]
+    pub fn value(&self, node: NodeId) -> &V {
+        &self.nodes[node as usize].value
+    }
+
+    /// Mutable payload of `node`.
+    #[inline]
+    pub fn value_mut(&mut self, node: NodeId) -> &mut V {
+        &mut self.nodes[node as usize].value
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        self.nodes[node as usize].parent
+    }
+
+    /// Edge symbol from the parent to `node`. Meaningless for the root.
+    #[inline]
+    pub fn symbol(&self, node: NodeId) -> u8 {
+        self.nodes[node as usize].symbol
+    }
+
+    /// Depth (= `|str(node)|`).
+    #[inline]
+    pub fn depth(&self, node: NodeId) -> usize {
+        self.nodes[node as usize].depth as usize
+    }
+
+    /// Children of `node`, sorted by edge symbol.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node as usize].children
+    }
+
+    /// Reconstructs `str(node)` by walking parent pointers (`O(depth)`).
+    pub fn string_of(&self, node: NodeId) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.depth(node));
+        let mut cur = node;
+        while cur != Self::ROOT {
+            out.push(self.symbol(cur));
+            cur = self.parent(cur);
+        }
+        out.reverse();
+        out
+    }
+
+    /// Pre-order DFS over all node ids.
+    pub fn dfs(&self) -> DfsIter<'_, V> {
+        DfsIter { trie: self, stack: vec![Self::ROOT] }
+    }
+
+    /// Builds a new trie containing exactly the nodes for which
+    /// `keep(node_id, value)` is true *and* whose ancestors are all kept
+    /// (subtree pruning: once a node is dropped its whole subtree goes, as
+    /// in the paper's Step 6). The root is always kept. Values are mapped
+    /// through `map`.
+    pub fn prune_map<W>(
+        &self,
+        mut keep: impl FnMut(NodeId, &V) -> bool,
+        mut map: impl FnMut(NodeId, &V) -> W,
+    ) -> Trie<W> {
+        let mut out = Trie::new(map(Self::ROOT, self.value(Self::ROOT)));
+        // Stack of (old_id, new_parent_id).
+        let mut stack: Vec<(NodeId, NodeId)> = self
+            .children(Self::ROOT)
+            .iter()
+            .rev()
+            .map(|&c| (c, Trie::<W>::ROOT))
+            .collect();
+        while let Some((old, new_parent)) = stack.pop() {
+            if !keep(old, self.value(old)) {
+                continue;
+            }
+            let new_id = out.ensure_child(new_parent, self.symbol(old), map(old, self.value(old)));
+            for &c in self.children(old).iter().rev() {
+                stack.push((c, new_id));
+            }
+        }
+        out
+    }
+
+    /// Total number of nodes at each depth; index `d` holds the count of
+    /// depth-`d` nodes. Useful for size audits (the paper bounds `|T*|` by
+    /// `O(nℓ²)`).
+    pub fn depth_histogram(&self) -> Vec<usize> {
+        let max_d = self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0);
+        let mut hist = vec![0usize; max_d + 1];
+        for n in &self.nodes {
+            hist[n.depth as usize] += 1;
+        }
+        hist
+    }
+}
+
+/// Pre-order DFS iterator over node ids.
+pub struct DfsIter<'a, V> {
+    trie: &'a Trie<V>,
+    stack: Vec<NodeId>,
+}
+
+impl<V> Iterator for DfsIter<'_, V> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        for &c in self.trie.children(node).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_walk() {
+        let mut t: Trie<u64> = Trie::new(0);
+        let ab = t.insert_path(b"ab", |_| 0);
+        let abc = t.insert_path(b"abc", |_| 0);
+        *t.value_mut(ab) = 5;
+        *t.value_mut(abc) = 2;
+        assert_eq!(t.walk(b"ab"), Some(ab));
+        assert_eq!(t.walk(b"abc"), Some(abc));
+        assert_eq!(t.walk(b"abd"), None);
+        assert_eq!(t.walk(b""), Some(Trie::<u64>::ROOT));
+        assert_eq!(*t.value(ab), 5);
+        assert_eq!(t.depth(abc), 3);
+        assert_eq!(t.string_of(abc), b"abc".to_vec());
+        assert_eq!(t.len(), 4); // root, a, ab, abc
+    }
+
+    #[test]
+    fn children_sorted() {
+        let mut t: Trie<()> = Trie::new(());
+        for &b in [b'c', b'a', b'z', b'b'].iter() {
+            t.insert_path(&[b], |_| ());
+        }
+        let syms: Vec<u8> =
+            t.children(Trie::<()>::ROOT).iter().map(|&c| t.symbol(c)).collect();
+        assert_eq!(syms, vec![b'a', b'b', b'c', b'z']);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all() {
+        let mut t: Trie<u32> = Trie::new(0);
+        for s in [&b"aa"[..], b"ab", b"b"] {
+            t.insert_path(s, |_| 0);
+        }
+        let visited: Vec<Vec<u8>> = t.dfs().map(|n| t.string_of(n)).collect();
+        assert_eq!(
+            visited,
+            vec![b"".to_vec(), b"a".to_vec(), b"aa".to_vec(), b"ab".to_vec(), b"b".to_vec()]
+        );
+    }
+
+    #[test]
+    fn prune_removes_subtrees() {
+        let mut t: Trie<i64> = Trie::new(100);
+        let a = t.insert_path(b"a", |_| 0);
+        let ab = t.insert_path(b"ab", |_| 0);
+        let abc = t.insert_path(b"abc", |_| 0);
+        let b = t.insert_path(b"b", |_| 0);
+        *t.value_mut(a) = 10;
+        *t.value_mut(ab) = 1; // below threshold → drops abc too
+        *t.value_mut(abc) = 50; // would survive alone, but ancestor pruned
+        *t.value_mut(b) = 10;
+        let pruned = t.prune_map(|_, &v| v >= 5, |_, &v| v);
+        assert!(pruned.walk(b"a").is_some());
+        assert!(pruned.walk(b"b").is_some());
+        assert!(pruned.walk(b"ab").is_none());
+        assert!(pruned.walk(b"abc").is_none());
+        assert_eq!(pruned.len(), 3);
+    }
+
+    #[test]
+    fn depth_histogram_counts() {
+        let mut t: Trie<()> = Trie::new(());
+        t.insert_path(b"aa", |_| ());
+        t.insert_path(b"ab", |_| ());
+        assert_eq!(t.depth_histogram(), vec![1, 1, 2]);
+    }
+}

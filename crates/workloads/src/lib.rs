@@ -1,0 +1,235 @@
+//! # dpsc-workloads — synthetic corpus generators
+//!
+//! Deterministic (seeded) generators for the experiment suite:
+//!
+//! * [`random_corpus`] — uniform random documents (the "hard" unstructured
+//!   case: few repeated substrings).
+//! * [`markov_corpus`] — order-1 Markov text with skewed transitions, a
+//!   stand-in for natural-language likelihood structure (frequent patterns
+//!   exist at every length).
+//! * [`dna_corpus`] — `|Σ| = 4` genome-like documents with *planted motifs*
+//!   occurring at controlled document frequencies; ground truth for mining
+//!   utility experiments (the genome-publishing application \[50\] of the
+//!   paper).
+//! * [`transit_corpus`] — event sequences over a station alphabet where a
+//!   few popular routes dominate (the transit-data application \[19\]).
+//!
+//! All generators return validated [`Database`] values and take an explicit
+//! `Rng`, so every experiment is reproducible from its seed.
+
+use dpsc_strkit::alphabet::{Alphabet, Database};
+use rand::Rng;
+
+/// Uniform random corpus: `n` documents of length exactly `ell` over the
+/// first `sigma` lowercase letters.
+pub fn random_corpus<R: Rng + ?Sized>(
+    n: usize,
+    ell: usize,
+    sigma: u16,
+    rng: &mut R,
+) -> Database {
+    let alphabet = Alphabet::lowercase(sigma);
+    let docs = (0..n)
+        .map(|_| {
+            (0..ell).map(|_| alphabet.symbol_at(rng.gen_range(0..alphabet.size()))).collect()
+        })
+        .collect();
+    Database::new(alphabet, ell, docs).expect("generated documents are valid")
+}
+
+/// Order-1 Markov text: transition matrix with a strong self-loop mass on a
+/// "favored" successor per symbol, producing heavy-tailed substring
+/// frequencies like natural text.
+pub fn markov_corpus<R: Rng + ?Sized>(
+    n: usize,
+    ell: usize,
+    sigma: u16,
+    skew: f64,
+    rng: &mut R,
+) -> Database {
+    assert!((0.0..1.0).contains(&skew), "skew must be in [0,1)");
+    let alphabet = Alphabet::lowercase(sigma);
+    let s = alphabet.size();
+    let docs = (0..n)
+        .map(|_| {
+            let mut doc = Vec::with_capacity(ell);
+            let mut cur = rng.gen_range(0..s);
+            doc.push(alphabet.symbol_at(cur));
+            for _ in 1..ell {
+                // With probability `skew`, take the favored successor
+                // (cur + 1 mod s); otherwise uniform.
+                cur = if rng.gen::<f64>() < skew {
+                    (cur + 1) % s
+                } else {
+                    rng.gen_range(0..s)
+                };
+                doc.push(alphabet.symbol_at(cur));
+            }
+            doc
+        })
+        .collect();
+    Database::new(alphabet, ell, docs).expect("generated documents are valid")
+}
+
+/// A DNA corpus with planted motifs.
+#[derive(Debug, Clone)]
+pub struct DnaCorpus {
+    /// The database (alphabet `{A,C,G,T}` encoded as bytes `0..4`).
+    pub db: Database,
+    /// The planted motifs with their intended document frequencies
+    /// (fraction of documents containing the motif).
+    pub motifs: Vec<(Vec<u8>, f64)>,
+}
+
+/// Generates `n` DNA reads of length `ell` and plants each motif (of length
+/// `motif_len`) into a `frequencies[i]` fraction of documents at a random
+/// offset.
+pub fn dna_corpus<R: Rng + ?Sized>(
+    n: usize,
+    ell: usize,
+    motif_len: usize,
+    frequencies: &[f64],
+    rng: &mut R,
+) -> DnaCorpus {
+    assert!(motif_len <= ell, "motif longer than documents");
+    let alphabet = Alphabet::dna();
+    let motifs: Vec<Vec<u8>> = frequencies
+        .iter()
+        .map(|_| (0..motif_len).map(|_| rng.gen_range(0..4u8)).collect())
+        .collect();
+    let mut docs: Vec<Vec<u8>> = (0..n)
+        .map(|_| (0..ell).map(|_| rng.gen_range(0..4u8)).collect())
+        .collect();
+    for (motif, &freq) in motifs.iter().zip(frequencies) {
+        for doc in docs.iter_mut() {
+            if rng.gen::<f64>() < freq {
+                let off = rng.gen_range(0..=ell - motif_len);
+                doc[off..off + motif_len].copy_from_slice(motif);
+            }
+        }
+    }
+    let db = Database::new(alphabet, ell, docs).expect("generated documents are valid");
+    DnaCorpus {
+        db,
+        motifs: motifs.into_iter().zip(frequencies.iter().copied()).collect(),
+    }
+}
+
+/// A transit-log corpus with planted popular routes.
+#[derive(Debug, Clone)]
+pub struct TransitCorpus {
+    /// The database: each document is one rider's trip sequence over a
+    /// station alphabet.
+    pub db: Database,
+    /// The planted route segments (frequent consecutive station runs).
+    pub routes: Vec<Vec<u8>>,
+}
+
+/// Generates rider trip logs: `n` riders, trips of length up to `ell`, over
+/// `stations` stations; `n_routes` popular route segments of length
+/// `route_len` are planted, each used by roughly a `popularity` fraction of
+/// riders.
+pub fn transit_corpus<R: Rng + ?Sized>(
+    n: usize,
+    ell: usize,
+    stations: u16,
+    n_routes: usize,
+    route_len: usize,
+    popularity: f64,
+    rng: &mut R,
+) -> TransitCorpus {
+    assert!(route_len <= ell);
+    let alphabet = Alphabet::lowercase(stations.min(26));
+    let s = alphabet.size();
+    let routes: Vec<Vec<u8>> = (0..n_routes)
+        .map(|_| {
+            (0..route_len).map(|_| alphabet.symbol_at(rng.gen_range(0..s))).collect()
+        })
+        .collect();
+    let docs: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            // Trip length varies: [route_len, ell].
+            let len = rng.gen_range(route_len..=ell);
+            let mut doc: Vec<u8> =
+                (0..len).map(|_| alphabet.symbol_at(rng.gen_range(0..s))).collect();
+            if !routes.is_empty() && rng.gen::<f64>() < popularity {
+                let route = &routes[rng.gen_range(0..routes.len())];
+                let off = rng.gen_range(0..=len - route.len());
+                doc[off..off + route.len()].copy_from_slice(route);
+            }
+            doc
+        })
+        .collect();
+    let db = Database::new(alphabet, ell, docs).expect("generated documents are valid");
+    TransitCorpus { db, routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsc_strkit::naive_contains;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_corpus_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = random_corpus(10, 20, 4, &mut rng);
+        assert_eq!(db.n(), 10);
+        assert_eq!(db.max_len(), 20);
+        assert!(db.documents().iter().all(|d| d.len() == 20));
+        assert_eq!(db.alphabet().size(), 4);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = random_corpus(5, 8, 3, &mut StdRng::seed_from_u64(7));
+        let b = random_corpus(5, 8, 3, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn markov_skew_creates_frequent_bigrams() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = markov_corpus(20, 100, 4, 0.9, &mut rng);
+        // The favored successor chain makes "ab" much more common than "ba".
+        let count = |pat: &[u8]| -> usize {
+            db.documents().iter().map(|d| dpsc_strkit::naive_count(pat, d)).sum()
+        };
+        assert!(count(b"ab") > 3 * count(b"ba"), "ab={} ba={}", count(b"ab"), count(b"ba"));
+    }
+
+    #[test]
+    fn dna_motifs_reach_target_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let corpus = dna_corpus(200, 50, 8, &[0.8, 0.1], &mut rng);
+        let (ref m0, _) = corpus.motifs[0];
+        let (ref m1, _) = corpus.motifs[1];
+        let freq = |m: &[u8]| {
+            corpus.db.documents().iter().filter(|d| naive_contains(m, d)).count() as f64
+                / corpus.db.n() as f64
+        };
+        // Random 8-mers almost never collide with background at these sizes.
+        assert!(freq(m0) > 0.7, "motif 0 frequency {}", freq(m0));
+        assert!(freq(m1) < 0.25, "motif 1 frequency {}", freq(m1));
+    }
+
+    #[test]
+    fn transit_routes_are_popular() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let corpus = transit_corpus(300, 30, 12, 2, 5, 0.5, &mut rng);
+        let total_riders_on_routes: usize = corpus
+            .routes
+            .iter()
+            .map(|r| corpus.db.documents().iter().filter(|d| naive_contains(r, d)).count())
+            .sum();
+        assert!(
+            total_riders_on_routes > 100,
+            "planted routes too rare: {total_riders_on_routes}"
+        );
+        // Variable trip lengths.
+        let lens: std::collections::HashSet<usize> =
+            corpus.db.documents().iter().map(|d| d.len()).collect();
+        assert!(lens.len() > 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Counting on trees (paper §5 / Theorems 8–9): a hierarchical location
+//! histogram (zip → area → state) and colored tree counting (distinct
+//! colors below each node), released with the heavy-path mechanism.
+//!
+//! Run with: `cargo run --release --example tree_histogram`
+
+use dp_substring_counting::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // A 3-level hierarchy: 4 states × 8 areas × 16 zips = 512 leaves.
+    let tree = {
+        let mut parents: Vec<Option<u32>> = vec![None];
+        for _state in 0..4 {
+            parents.push(Some(0));
+        }
+        for state in 0..4u32 {
+            for _area in 0..8 {
+                parents.push(Some(1 + state));
+            }
+        }
+        let first_area = 5;
+        for area in 0..32u32 {
+            for _zip in 0..16 {
+                parents.push(Some(first_area + area));
+            }
+        }
+        Tree::from_parents(&parents)
+    };
+    let leaves = tree.leaves();
+    println!(
+        "hierarchy: {} nodes, height {}, {} zip-level leaves",
+        tree.n(),
+        tree.height(),
+        leaves.len(),
+    );
+
+    // Universe: 16 elements per zip; colors = 4096 device models (counts
+    // must dominate the Θ(polylog/ε) noise for the release to be useful).
+    let universe_size = leaves.len() * 16;
+    let leaf_of: Vec<u32> = (0..universe_size).map(|i| leaves[i % leaves.len()]).collect();
+    let color_of: Vec<u32> = (0..universe_size).map(|_| rng.gen_range(0..4096)).collect();
+    let universe = ColoredUniverse::new(tree, leaf_of, color_of);
+
+    // Dataset: 40k records, skewed toward low-index zips.
+    let dataset: Vec<u32> = (0..40_000)
+        .map(|_| {
+            let r: f64 = rng.gen::<f64>();
+            ((r * r) * universe_size as f64) as u32
+        })
+        .collect();
+
+    // ---- Hierarchical histogram (Theorem 8) -------------------------------
+    let exact = universe.histogram_counts(&dataset);
+    let est = universe.private_histogram_pure(&dataset, PrivacyParams::pure(1.0), 0.1, &mut rng);
+    println!("\nTheorem 8 (ε = 1) hierarchical histogram   [true → noisy]");
+    println!("  whole country: {:7} → {:9.1}", exact[0], est.values[0]);
+    for state in 0..4usize {
+        println!(
+            "  state {state}:       {:7} → {:9.1}",
+            exact[1 + state],
+            est.values[1 + state],
+        );
+    }
+    println!(
+        "  max error over all {} nodes: {:.1} (analytic bound α = {:.1})",
+        est.values.len(),
+        est.max_error(&exact),
+        est.error_bound,
+    );
+
+    // ---- Colored tree counting (Theorem 9) --------------------------------
+    let exact_colors = universe.colored_counts(&dataset);
+    let est_colors = universe.private_colored_counts_approx(
+        &dataset,
+        PrivacyParams::approx(1.0, 1e-6),
+        0.1,
+        &mut rng,
+    );
+    println!("\nTheorem 9 (ε = 1, δ = 1e-6) distinct colors below each node   [true → noisy]");
+    println!("  whole country: {:5} → {:8.1}", exact_colors[0], est_colors.values[0]);
+    for state in 0..4usize {
+        println!(
+            "  state {state}:       {:5} → {:8.1}",
+            exact_colors[1 + state],
+            est_colors.values[1 + state],
+        );
+    }
+    println!(
+        "  max error: {:.1} (analytic bound α = {:.1})",
+        est_colors.max_error(&exact_colors),
+        est_colors.error_bound,
+    );
+}

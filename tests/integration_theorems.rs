@@ -1,0 +1,202 @@
+//! End-to-end integration tests for Theorems 1–4 on realistic corpora:
+//! error-within-α, structure-size bounds, absent-string guarantees, and
+//! the Definition 2 mining contract.
+
+use dp_substring_counting::prelude::*;
+use dp_substring_counting::private_count::{evaluate_mining, frequent_substrings};
+use dp_substring_counting::strkit::trie::Trie;
+use dp_substring_counting::workloads::{dna_corpus, markov_corpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn markov_index(seed: u64) -> (Database, CorpusIndex) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = markov_corpus(400, 24, 6, 0.7, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    (db, idx)
+}
+
+#[test]
+fn theorem1_end_to_end_substring_count() {
+    let (db, idx) = markov_index(1);
+    let mut rng = StdRng::seed_from_u64(100);
+    let tau = 400.0;
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(8.0), 0.1)
+        .with_thresholds(tau, tau);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
+
+    // (a) Structure size within the paper's O(nℓ²) bound.
+    assert!(
+        s.node_count() <= db.n() * db.max_len() * db.max_len(),
+        "structure has {} nodes > nℓ² = {}",
+        s.node_count(),
+        db.n() * db.max_len() * db.max_len()
+    );
+
+    // (b) Stored counts within α of the truth (one seeded draw; α holds
+    // w.p. 0.9).
+    for node in s.trie().dfs() {
+        if node == Trie::<f64>::ROOT {
+            continue;
+        }
+        let pat = s.trie().string_of(node);
+        let exact = idx.count(&pat) as f64;
+        assert!(
+            (s.query(&pat) - exact).abs() <= s.alpha_counts(),
+            "{:?}: {} vs {} (α = {})",
+            pat,
+            s.query(&pat),
+            exact,
+            s.alpha_counts()
+        );
+    }
+
+    // (c) Absent strings have bounded true counts: nothing with count far
+    // above the pruning threshold may be missing.
+    let margin = tau + s.alpha_counts();
+    for p in frequent_substrings(&idx, db.max_len(), margin + 1.0, None) {
+        assert!(
+            s.contains(&p),
+            "{:?} has count {} > {} but is absent",
+            p,
+            idx.count(&p),
+            margin
+        );
+    }
+}
+
+#[test]
+fn theorem2_document_count_beats_theorem1_on_error() {
+    let (_, idx) = markov_index(2);
+    let mut rng = StdRng::seed_from_u64(101);
+    // τ must clear the pure-DP candidate noise floor (~2ℓ·3(⌊log ℓ⌋+1)/ε),
+    // or spurious candidates overflow the nℓ cap (the paper's FAIL branch).
+    let tau = 300.0;
+    let eps = 8.0;
+    let pure = build_pure(
+        &idx,
+        &BuildParams::new(CountMode::Document, PrivacyParams::pure(eps), 0.1)
+            .with_thresholds(tau, tau),
+        &mut rng,
+    )
+    .expect("pure construction");
+    let approx = build_approx(
+        &idx,
+        &BuildParams::new(CountMode::Document, PrivacyParams::approx(eps, 1e-6), 0.1)
+            .with_thresholds(tau, tau),
+        &mut rng,
+    )
+    .expect("approx construction");
+    // The (ε,δ) α is strictly better at Δ = 1 for ℓ = 24 (the √(ℓΔ) gain
+    // dominates the extra √log(1/δ)).
+    assert!(
+        approx.alpha_counts() < pure.alpha_counts(),
+        "Gaussian α {} should beat Laplace α {}",
+        approx.alpha_counts(),
+        pure.alpha_counts()
+    );
+}
+
+#[test]
+fn theorem3_and_4_agree_on_qgram_counts() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // Large enough that the planted motif's document count clears Theorem
+    // 4's clamped threshold (≈ 10σ ≈ 450 here).
+    let corpus = dna_corpus(3000, 40, 6, &[0.7], &mut rng);
+    let idx = CorpusIndex::build(&corpus.db);
+    let q = 6;
+    let tau = 120.0;
+
+    let t3 = build_qgram_pure(
+        &idx,
+        &QgramParams {
+            q,
+            mode: CountMode::Document,
+            privacy: PrivacyParams::pure(8.0),
+            beta: 0.1,
+            tau_override: Some(tau),
+            level_cap_override: None,
+        },
+        &mut rng,
+    )
+    .expect("Theorem 3 construction");
+    let t4 = build_qgram_fast(
+        &idx,
+        &FastQgramParams {
+            q,
+            mode: CountMode::Document,
+            privacy: PrivacyParams::approx(8.0, 1e-6),
+            beta: 0.1,
+            tau_override: Some(tau),
+        },
+        &mut rng,
+    )
+    .expect("Theorem 4 construction");
+
+    // Both must recover the planted motif with counts near the truth.
+    let (motif, _) = &corpus.motifs[0];
+    let exact = idx.document_count(motif) as f64;
+    for (name, s) in [("T3", &t3), ("T4", &t4)] {
+        let got = s.query(motif);
+        assert!(got > 0.0, "{name}: planted motif not recovered");
+        assert!(
+            (got - exact).abs() <= s.alpha_counts(),
+            "{name}: motif count {got} vs exact {exact} (α = {})",
+            s.alpha_counts()
+        );
+    }
+}
+
+#[test]
+fn mining_contract_holds_at_structure_alpha() {
+    let (db, idx) = markov_index(4);
+    let mut rng = StdRng::seed_from_u64(102);
+    let build_tau = 300.0;
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(8.0), 0.1)
+        .with_thresholds(build_tau, build_tau);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
+
+    // Mine above the build threshold; the Definition 2 contract must hold
+    // with α = structure α + build threshold slack.
+    let tau = 2.0 * build_tau;
+    let mined: Vec<Vec<u8>> = s.mine(tau).into_iter().map(|(g, _)| g).collect();
+    let alpha = s.alpha_counts() + build_tau + s.alpha_absent();
+    let eval = evaluate_mining(&idx, db.max_len(), &mined, tau, alpha, None);
+    assert!(
+        eval.contract_holds(),
+        "missed: {:?}, spurious: {:?}",
+        eval.missed.len(),
+        eval.spurious.len()
+    );
+}
+
+#[test]
+fn queries_after_construction_are_free() {
+    // Post-processing sanity: querying many times yields identical answers
+    // (the structure is a fixed artifact, not a fresh mechanism per query).
+    let (_, idx) = markov_index(5);
+    let mut rng = StdRng::seed_from_u64(103);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(8.0), 0.1)
+        .with_thresholds(400.0, 400.0);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
+    let first = s.query(b"ab");
+    for _ in 0..100 {
+        assert_eq!(s.query(b"ab"), first);
+    }
+    // Mining twice at the same threshold is deterministic too.
+    assert_eq!(s.mine(500.0), s.mine(500.0));
+}
+
+#[test]
+fn build_determinism_given_seed() {
+    let (_, idx) = markov_index(6);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(4.0), 0.1)
+        .with_thresholds(400.0, 400.0);
+    let s1 = build_pure(&idx, &params, &mut StdRng::seed_from_u64(7)).unwrap();
+    let s2 = build_pure(&idx, &params, &mut StdRng::seed_from_u64(7)).unwrap();
+    assert_eq!(s1.node_count(), s2.node_count());
+    for node in s1.trie().dfs() {
+        let pat = s1.trie().string_of(node);
+        assert_eq!(s1.query(&pat), s2.query(&pat));
+    }
+}
