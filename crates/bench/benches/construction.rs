@@ -38,9 +38,8 @@ fn bench_theorem2(c: &mut Criterion) {
         let db = markov_corpus(n, 32, 4, 0.7, &mut rng);
         let idx = CorpusIndex::build(&db);
         let tau = 0.4 * n as f64;
-        let params =
-            BuildParams::new(CountMode::Document, PrivacyParams::approx(4.0, 1e-6), 0.1)
-                .with_thresholds(tau, tau);
+        let params = BuildParams::new(CountMode::Document, PrivacyParams::approx(4.0, 1e-6), 0.1)
+            .with_thresholds(tau, tau);
         group.bench_with_input(BenchmarkId::from_parameter(n), &idx, |b, idx| {
             let mut rng = StdRng::seed_from_u64(13);
             b.iter(|| build_approx(black_box(idx), &params, &mut rng));

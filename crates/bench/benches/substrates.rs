@@ -62,11 +62,7 @@ fn bench_tree_mechanism(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("build", t), &seq, |b, seq| {
             let mut rng = StdRng::seed_from_u64(4);
             b.iter(|| {
-                BinaryTreeMechanism::build(
-                    black_box(seq),
-                    Noise::Laplace { b: 3.0 },
-                    &mut rng,
-                )
+                BinaryTreeMechanism::build(black_box(seq), Noise::Laplace { b: 3.0 }, &mut rng)
             });
         });
     }

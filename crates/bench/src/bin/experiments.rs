@@ -25,9 +25,7 @@ fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("t2_sqrt_ell", "Thm 2: √ℓ document counting", || vec![exps::t2::t2_sqrt_ell()]),
         ("t2_delta", "Thm 2: √Δ interpolation", || vec![exps::t2::t2_delta()]),
         ("t3_qgram", "Thm 3: ε-DP q-grams", || vec![exps::qgrams::t3_qgram()]),
-        ("t4_scaling", "Thm 4: near-linear construction", || {
-            vec![exps::qgrams::t4_scaling()]
-        }),
+        ("t4_scaling", "Thm 4: near-linear construction", || vec![exps::qgrams::t4_scaling()]),
         ("t5_packing", "Thm 5: packing lower bound", || vec![exps::lower::t5_packing()]),
         ("t6_substring_lb", "Thm 6: Ω(ℓ) substring lower bound", || {
             vec![exps::lower::t6_substring_lb()]
@@ -72,13 +70,8 @@ fn main() {
         for table in tables {
             print!("{}", table.to_markdown());
             let path = format!("results/{}.json", table.id);
-            match serde_json::to_string_pretty(&table) {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(&path, json) {
-                        eprintln!("[experiments] failed writing {path}: {e}");
-                    }
-                }
-                Err(e) => eprintln!("[experiments] failed serializing {path}: {e}"),
+            if let Err(e) = std::fs::write(&path, table.to_json()) {
+                eprintln!("[experiments] failed writing {path}: {e}");
             }
         }
     }

@@ -100,9 +100,7 @@ pub fn baseline_error(
     let n_nodes = counts_trie.len();
     let maxes: Vec<f64> = run_trials(trials, seed, |_i, s| {
         let mut rng = StdRng::seed_from_u64(s);
-        (0..n_nodes)
-            .map(|_| noise.sample(&mut rng).abs())
-            .fold(0.0f64, f64::max)
+        (0..n_nodes).map(|_| noise.sample(&mut rng).abs()).fold(0.0f64, f64::max)
     });
     let n = idx.n_docs();
     let k = ((ell * ell) as f64 * (n * n) as f64).max(idx.alphabet_size() as f64);

@@ -28,19 +28,16 @@ pub fn t5_packing() -> Table {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let inst = packing_instance(n, ell, 6, b, &mut rng);
                 let idx = CorpusIndex::build(&inst.db);
-                let params =
-                    BuildParams::new(CountMode::Substring, PrivacyParams::pure(eps), 0.1)
-                        .with_thresholds(inst.tau, inst.tau);
+                let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(eps), 0.1)
+                    .with_thresholds(inst.tau, inst.tau);
                 match build_pure(&idx, &params, &mut rng) {
                     Ok(s) => {
                         let mined: Vec<Vec<u8>> =
                             s.mine(inst.tau).into_iter().map(|(g, _)| g).collect();
-                        let recall = inst
-                            .planted
-                            .iter()
-                            .filter(|p| mined.iter().any(|m| &m == p))
-                            .count() as f64
-                            / inst.planted.len() as f64;
+                        let recall =
+                            inst.planted.iter().filter(|p| mined.iter().any(|m| &m == p)).count()
+                                as f64
+                                / inst.planted.len() as f64;
                         let half = inst.m / 2;
                         let impostors = mined
                             .iter()
@@ -91,9 +88,8 @@ pub fn t6_substring_lb() -> Table {
         let tau = ell as f64 / 4.0;
         let errors = run_trials(200, 9000 + ell as u64, |_i, seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            let params =
-                BuildParams::new(CountMode::Substring, PrivacyParams::pure(1.0), 0.1)
-                    .with_thresholds(tau, f64::NEG_INFINITY);
+            let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1.0), 0.1)
+                .with_thresholds(tau, f64::NEG_INFINITY);
             match build_pure(&idx, &params, &mut rng) {
                 Ok(s) => (s.query(&inst.pattern) - inst.gap as f64).abs(),
                 Err(_) => inst.gap as f64, // FAIL = answering 0 everywhere
@@ -134,17 +130,13 @@ pub fn t7_marginals() -> Table {
         // τ must clear the Gaussian candidate noise (σ ∝ √ℓ·polylog/ε) while
         // staying below the ≈ n/2 marginal counts.
         let tau = 0.2 * n as f64;
-        let params =
-            BuildParams::new(CountMode::Document, PrivacyParams::approx(4.0, 1e-6), 0.1)
-                .with_thresholds(tau, f64::NEG_INFINITY);
+        let params = BuildParams::new(CountMode::Document, PrivacyParams::approx(4.0, 1e-6), 0.1)
+            .with_thresholds(tau, f64::NEG_INFINITY);
         let (worst, alpha) = match build_approx(&idx, &params, &mut rng) {
             Ok(s) => {
                 let rec = marginals_via_document_count(&inst, |pat| s.query(pat));
-                let worst = rec
-                    .iter()
-                    .zip(&exact)
-                    .map(|(r, e)| (r - e).abs())
-                    .fold(0.0f64, f64::max);
+                let worst =
+                    rec.iter().zip(&exact).map(|(r, e)| (r - e).abs()).fold(0.0f64, f64::max);
                 (worst, s.alpha_counts())
             }
             Err(_) => (f64::NAN, f64::NAN),
@@ -152,11 +144,7 @@ pub fn t7_marginals() -> Table {
         // Control: the exact (non-private) oracle recovers marginals
         // perfectly.
         let rec0 = marginals_via_document_count(&inst, |pat| idx.document_count(pat) as f64);
-        let err0 = rec0
-            .iter()
-            .zip(&exact)
-            .map(|(r, e)| (r - e).abs())
-            .fold(0.0f64, f64::max);
+        let err0 = rec0.iter().zip(&exact).map(|(r, e)| (r - e).abs()).fold(0.0f64, f64::max);
         t.row(vec![
             d.to_string(),
             ell.to_string(),

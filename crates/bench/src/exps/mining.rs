@@ -42,8 +42,7 @@ pub fn mining_utility() -> Vec<Table> {
                     Ok(s) => {
                         let mined: Vec<Vec<u8>> =
                             s.mine_qgrams(8, tau).into_iter().map(|(g, _)| g).collect();
-                        let ev =
-                            evaluate_mining(&idx, 1, &mined, tau, s.alpha_counts(), Some(8));
+                        let ev = evaluate_mining(&idx, 1, &mined, tau, s.alpha_counts(), Some(8));
                         (ev.precision, ev.recall, ev.contract_holds())
                     }
                     Err(_) => (0.0, 0.0, false),
@@ -69,19 +68,13 @@ pub fn mining_utility() -> Vec<Table> {
         let corpus = transit_corpus(10_000, 24, 10, 3, 4, 0.9, &mut rng);
         let idx = CorpusIndex::build(&corpus.db);
         let build_tau = 1200.0;
-        let params =
-            BuildParams::new(CountMode::Document, PrivacyParams::approx(2.0, 1e-6), 0.1)
-                .with_thresholds(build_tau, build_tau);
+        let params = BuildParams::new(CountMode::Document, PrivacyParams::approx(2.0, 1e-6), 0.1)
+            .with_thresholds(build_tau, build_tau);
         let s = build_approx(&idx, &params, &mut rng).expect("transit construction");
         for tau in [1500.0f64, 2200.0, 2800.0] {
-            let mined: Vec<Vec<u8>> =
-                s.mine_qgrams(4, tau).into_iter().map(|(g, _)| g).collect();
+            let mined: Vec<Vec<u8>> = s.mine_qgrams(4, tau).into_iter().map(|(g, _)| g).collect();
             let ev = evaluate_mining(&idx, 1, &mined, tau, s.alpha_counts(), Some(4));
-            let recovered = corpus
-                .routes
-                .iter()
-                .filter(|r| mined.iter().any(|m| &m == r))
-                .count();
+            let recovered = corpus.routes.iter().filter(|r| mined.iter().any(|m| &m == r)).count();
             transit_table.row(vec![
                 format!("{tau}"),
                 format!("{:.2}", ev.precision),
@@ -119,9 +112,9 @@ pub fn figures() -> Vec<Table> {
 
     // Figure 2: the candidate trie of Examples 2–3 with its heavy paths.
     let candidates: Vec<Vec<u8>> = [
-        "a", "b", "e", "s", "aa", "ab", "ba", "be", "bs", "ee", "es", "sa", "aaa", "aab",
-        "aba", "abe", "abs", "baa", "bab", "bee", "bsa", "eee", "saa", "sab", "aaaa", "absa",
-        "babe", "bees", "bsab", "aaaaa", "absab",
+        "a", "b", "e", "s", "aa", "ab", "ba", "be", "bs", "ee", "es", "sa", "aaa", "aab", "aba",
+        "abe", "abs", "baa", "bab", "bee", "bsa", "eee", "saa", "sab", "aaaa", "absa", "babe",
+        "bees", "bsab", "aaaaa", "absab",
     ]
     .iter()
     .map(|s| s.as_bytes().to_vec())
@@ -142,11 +135,14 @@ pub fn figures() -> Vec<Table> {
                 .iter()
                 .map(|&v| {
                     let s = trie.string_of(v);
-                    if s.is_empty() { "ε".to_string() } else { String::from_utf8_lossy(&s).into_owned() }
+                    if s.is_empty() {
+                        "ε".to_string()
+                    } else {
+                        String::from_utf8_lossy(&s).into_owned()
+                    }
                 })
                 .collect();
-            let counts: Vec<String> =
-                path.iter().map(|&v| trie.value(v).to_string()).collect();
+            let counts: Vec<String> = path.iter().map(|&v| trie.value(v).to_string()).collect();
             (label.join(" → "), counts.join(", "))
         })
         .collect();

@@ -80,7 +80,9 @@ pub fn t1_error_vs_eps() -> Table {
         ]);
     }
     let slope = loglog_slope(&epss, &errs);
-    t.note(format!("fitted exponent: err ∝ ε^{slope:.2} (paper: −1); err·ε column should be ~constant."));
+    t.note(format!(
+        "fitted exponent: err ∝ ε^{slope:.2} (paper: −1); err·ε column should be ~constant."
+    ));
     t
 }
 

@@ -28,8 +28,7 @@ pub fn t2_sqrt_ell() -> Table {
         let mut rng = StdRng::seed_from_u64(4000 + ell as u64);
         let db = markov_corpus(64, ell, 4, 0.7, &mut rng);
         let idx = CorpusIndex::build(&db);
-        let g =
-            pipeline_error(&idx, 24, 1, PrivacyParams::approx(1.0, DELTA), true, TRIALS, 45);
+        let g = pipeline_error(&idx, 24, 1, PrivacyParams::approx(1.0, DELTA), true, TRIALS, 45);
         let l = pipeline_error(&idx, 24, 1, PrivacyParams::pure(1.0), false, TRIALS, 46);
         gauss.push(g.median_max);
         lap.push(l.median_max);

@@ -40,19 +40,11 @@ pub fn t8_tree() -> Table {
             );
             let bl = baseline_per_node_laplace(&tree, &counts, 2.0, 1.0, &mut rng);
             let ls = baseline_noisy_leaf_sum(&tree, &counts, 2.0, 1.0, &mut rng);
-            let e1: f64 = est
-                .values
-                .iter()
-                .zip(&counts)
-                .map(|(v, &c)| (v - c as f64).abs())
-                .sum::<f64>()
-                / h as f64;
-            let e2: f64 = bl
-                .iter()
-                .zip(&counts)
-                .map(|(v, &c)| (v - c as f64).abs())
-                .sum::<f64>()
-                / h as f64;
+            let e1: f64 =
+                est.values.iter().zip(&counts).map(|(v, &c)| (v - c as f64).abs()).sum::<f64>()
+                    / h as f64;
+            let e2: f64 =
+                bl.iter().zip(&counts).map(|(v, &c)| (v - c as f64).abs()).sum::<f64>() / h as f64;
             let e3 = (ls[0] - counts[0] as f64).abs();
             (e1, e2, e3, est.error_bound)
         });
@@ -115,12 +107,7 @@ pub fn t9_colored() -> Table {
                 0.1,
                 &mut rng,
             );
-            (
-                pure.max_error(&exact),
-                approx.max_error(&exact),
-                pure.error_bound,
-                approx.error_bound,
-            )
+            (pure.max_error(&exact), approx.max_error(&exact), pure.error_bound, approx.error_bound)
         });
         t.row(vec![
             height.to_string(),

@@ -7,10 +7,9 @@
 
 use dpsc_strkit::alphabet::Database;
 use dpsc_textindex::{depth_groups, CorpusIndex};
-use serde::Serialize;
 
 /// A rendered experiment table (also serialized to JSON by the binary).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id (e.g. `t1_error_vs_ell`).
     pub id: String,
@@ -62,11 +61,8 @@ impl Table {
             })
             .collect();
         let fmt_row = |cells: &[String]| -> String {
-            let padded: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{:>w$}", c, w = w))
-                .collect();
+            let padded: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{:>w$}", c, w = w)).collect();
             format!("| {} |\n", padded.join(" | "))
         };
         out.push_str(&fmt_row(&self.headers));
@@ -80,6 +76,46 @@ impl Table {
         }
         out.push('\n');
         out
+    }
+
+    /// Renders as pretty-printed JSON. Hand-rolled (the build has no
+    /// registry access for `serde`); strings are escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn arr(items: impl Iterator<Item = String>, indent: &str) -> String {
+            let items: Vec<String> = items.collect();
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            format!("[\n{indent}  {}\n{indent}]", items.join(&format!(",\n{indent}  ")))
+        }
+        let headers = arr(self.headers.iter().map(|h| esc(h)), "  ");
+        let rows = arr(self.rows.iter().map(|r| arr(r.iter().map(|c| esc(c)), "    ")), "  ");
+        let notes = arr(self.notes.iter().map(|n| esc(n)), "  ");
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"headers\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            headers,
+            rows,
+            notes
+        )
     }
 }
 
@@ -127,7 +163,7 @@ pub fn max(v: &[f64]) -> f64 {
 }
 
 /// Runs `trials` independent seeded executions of `f` in parallel across
-/// available cores (crossbeam scoped threads). Each call gets `(trial_index,
+/// available cores (std scoped threads). Each call gets `(trial_index,
 /// seed)`; results come back in trial order.
 pub fn run_trials<T: Send>(
     trials: usize,
@@ -135,23 +171,26 @@ pub fn run_trials<T: Send>(
     f: impl Fn(usize, u64) -> T + Sync,
 ) -> Vec<T> {
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let results: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..trials).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..trials).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(trials) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= trials {
                     break;
                 }
-                let out = f(i, base_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-                *results[i].lock() = Some(out);
+                let out =
+                    f(i, base_seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                *results[i].lock().expect("trial mutex not poisoned") = Some(out);
             });
         }
-    })
-    .expect("trial threads do not panic");
-    results.into_iter().map(|m| m.into_inner().expect("trial completed")).collect()
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("trial mutex not poisoned").expect("trial completed"))
+        .collect()
 }
 
 /// Probe set: the `per_length` most frequent distinct substrings at each of
@@ -159,11 +198,7 @@ pub fn run_trials<T: Send>(
 /// become the pipeline's candidate trie in the error-measurement
 /// experiments, so error is always measured on the same strings across
 /// mechanisms.
-pub fn frequent_probe_set(
-    idx: &CorpusIndex,
-    per_length: usize,
-    delta_clip: usize,
-) -> Vec<Vec<u8>> {
+pub fn frequent_probe_set(idx: &CorpusIndex, per_length: usize, delta_clip: usize) -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for d in length_ladder(idx.max_len()) {
         let mut groups = depth_groups(idx, d);

@@ -66,18 +66,14 @@ mod tests {
         let trials = 2_000;
         for _ in 0..trials {
             let noisy = randomize_counts(&counts, noise, &mut rng);
-            let sup =
-                noisy.iter().map(|&v| (v - 100.0).abs()).fold(0.0f64, f64::max);
+            let sup = noisy.iter().map(|&v| (v - 100.0).abs()).fold(0.0f64, f64::max);
             if sup > bound {
                 violations += 1;
             }
         }
         // Union bound guarantees ≤ β; empirically it is β-ish (tight for
         // Laplace), so allow some sampling slack.
-        assert!(
-            (violations as f64 / trials as f64) < beta * 1.5,
-            "violations {violations}"
-        );
+        assert!((violations as f64 / trials as f64) < beta * 1.5, "violations {violations}");
     }
 
     #[test]

@@ -287,8 +287,7 @@ mod tests {
     #[test]
     fn empty_sequence() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mech =
-            BinaryTreeMechanism::build(&[], Noise::Laplace { b: 1.0 }, &mut rng);
+        let mech = BinaryTreeMechanism::build(&[], Noise::Laplace { b: 1.0 }, &mut rng);
         assert_eq!(mech.prefix(0), 0.0);
         assert!(mech.is_empty());
         assert!(mech.all_prefixes().is_empty());

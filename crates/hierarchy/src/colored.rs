@@ -78,8 +78,7 @@ impl ColoredUniverse {
         // Colors present at each leaf.
         let mut at_node: Vec<HashSet<u32>> = vec![HashSet::new(); n];
         for &item in dataset {
-            at_node[self.leaf_of[item as usize] as usize]
-                .insert(self.color_of[item as usize]);
+            at_node[self.leaf_of[item as usize] as usize].insert(self.color_of[item as usize]);
         }
         let mut counts = vec![0u64; n];
         let order = self.tree.dfs_preorder();
@@ -180,8 +179,7 @@ mod tests {
         let leaves = tree.leaves();
         let mut rng = StdRng::seed_from_u64(seed);
         let u = 64usize;
-        let leaf_of: Vec<NodeId> =
-            (0..u).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
+        let leaf_of: Vec<NodeId> = (0..u).map(|_| leaves[rng.gen_range(0..leaves.len())]).collect();
         let color_of: Vec<u32> = (0..u).map(|_| rng.gen_range(0..8)).collect();
         let universe = ColoredUniverse::new(tree, leaf_of, color_of);
         let dataset: Vec<u32> = (0..200).map(|_| rng.gen_range(0..u as u32)).collect();
@@ -254,12 +252,8 @@ mod tests {
     fn private_colored_counts_respect_bound() {
         let (universe, dataset) = setup(44);
         let mut rng = StdRng::seed_from_u64(99);
-        let est = universe.private_colored_counts_pure(
-            &dataset,
-            PrivacyParams::pure(2.0),
-            0.1,
-            &mut rng,
-        );
+        let est =
+            universe.private_colored_counts_pure(&dataset, PrivacyParams::pure(2.0), 0.1, &mut rng);
         let exact = universe.colored_counts(&dataset);
         assert!(est.max_error(&exact) <= est.error_bound);
         let est2 = universe.private_colored_counts_approx(

@@ -45,8 +45,7 @@ impl HeavyPathDecomposition {
         // light edge. Walk DFS; when we meet a path head, follow heavy edges
         // to the bottom.
         for &v in &tree.dfs_preorder() {
-            let is_head =
-                v == tree.root() || heavy[tree.parent(v) as usize] != Some(v);
+            let is_head = v == tree.root() || heavy[tree.parent(v) as usize] != Some(v);
             if !is_head {
                 continue;
             }

@@ -54,11 +54,7 @@ pub struct TreeCountEstimate {
 impl TreeCountEstimate {
     /// Maximum absolute deviation from the exact counts.
     pub fn max_error(&self, exact: &[u64]) -> f64 {
-        self.values
-            .iter()
-            .zip(exact)
-            .map(|(&v, &e)| (v - e as f64).abs())
-            .fold(0.0, f64::max)
+        self.values.iter().zip(exact).map(|(&v, &e)| (v - e as f64).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -121,7 +117,8 @@ fn run_pipeline<R: Rng + ?Sized>(
     let n = tree.n();
     let hpd = HeavyPathDecomposition::new(tree);
     let k = hpd.num_paths();
-    let levels = (usize::BITS - n.leading_zeros()) as f64; // ⌊log n⌋ + 1
+    // ⌊log n⌋ + 1
+    let levels = (usize::BITS - n.leading_zeros()) as f64;
     // Sensitivity across all heavy-path roots: each unit of leaf change hits
     // ≤ `levels` roots (Lemma 9).
     let roots_l1 = sens.leaf_l1 * levels;
@@ -207,8 +204,7 @@ pub fn baseline_noisy_leaf_sum<R: Rng + ?Sized>(
         if tree.is_leaf(v) {
             values[v as usize] = counts[v as usize] as f64 + noise.sample(rng);
         } else {
-            values[v as usize] =
-                tree.children(v).iter().map(|&c| values[c as usize]).sum();
+            values[v as usize] = tree.children(v).iter().map(|&c| values[c as usize]).sum();
         }
     }
     values
@@ -298,10 +294,7 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(
-            (violations as f64 / trials as f64) <= beta,
-            "violations {violations}/{trials}"
-        );
+        assert!((violations as f64 / trials as f64) <= beta, "violations {violations}/{trials}");
     }
 
     #[test]

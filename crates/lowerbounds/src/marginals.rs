@@ -70,8 +70,7 @@ pub fn encode_marginals(matrix: &[Vec<u8>], s: usize) -> MarginalsInstance {
 
     let mut queries = Vec::with_capacity(d);
     for j in 0..d {
-        let mut pat: Vec<u8> =
-            code_digits(j, digit_base, width).into_iter().map(sym).collect();
+        let mut pat: Vec<u8> = code_digits(j, digit_base, width).into_iter().map(sym).collect();
         pat.push(sym(1)); // the bit value 1
         queries.push(pat);
     }
@@ -102,9 +101,7 @@ pub fn random_matrix<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Vec<Ve
 pub fn exact_marginals(matrix: &[Vec<u8>]) -> Vec<f64> {
     let n = matrix.len() as f64;
     let d = matrix[0].len();
-    (0..d)
-        .map(|j| matrix.iter().map(|r| r[j] as usize).sum::<usize>() as f64 / n)
-        .collect()
+    (0..d).map(|j| matrix.iter().map(|r| r[j] as usize).sum::<usize>() as f64 / n).collect()
 }
 
 /// Solves marginals through any Document Count oracle: feeds each query
@@ -185,13 +182,8 @@ mod tests {
         let inst1 = encode_marginals(&matrix, 4);
         matrix[2][3] ^= 1;
         let inst2 = encode_marginals(&matrix, 4);
-        let diffs = inst1
-            .db
-            .documents()
-            .iter()
-            .zip(inst2.db.documents())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs =
+            inst1.db.documents().iter().zip(inst2.db.documents()).filter(|(a, b)| a != b).count();
         assert_eq!(diffs, 1, "changing one row changes exactly one document");
     }
 }

@@ -63,8 +63,7 @@ pub fn packing_instance<R: Rng + ?Sized>(
     let mut codes = Vec::with_capacity(k);
     let mut packed = Vec::with_capacity(k * m);
     for i in 0..k {
-        let pattern: Vec<u8> =
-            (0..half).map(|_| hat[rng.gen_range(0..hat.len())]).collect();
+        let pattern: Vec<u8> = (0..half).map(|_| hat[rng.gen_range(0..hat.len())]).collect();
         // c_i: half-bit binary code of i.
         let code: Vec<u8> =
             (0..half).rev().map(|bit| if (i >> bit) & 1 == 1 { one } else { zero }).collect();
@@ -93,10 +92,7 @@ pub fn recovery_event(inst: &PackingInstance, mined: &[Vec<u8>]) -> bool {
     let planted: std::collections::HashSet<&[u8]> =
         inst.planted.iter().map(|p| p.as_slice()).collect();
     // All planted present.
-    let all_present = inst
-        .planted
-        .iter()
-        .all(|p| mined.iter().any(|m| m == p));
+    let all_present = inst.planted.iter().all(|p| mined.iter().any(|m| m == p));
     if !all_present {
         return false;
     }
@@ -136,8 +132,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let inst = packing_instance(32, 64, 6, 8, &mut rng);
         for p in &inst.planted {
-            let c: usize =
-                inst.db.documents().iter().map(|d| naive_count(p, d)).sum();
+            let c: usize = inst.db.documents().iter().map(|d| naive_count(p, d)).sum();
             assert_eq!(c, inst.b, "planted {:?}", p);
             assert_eq!(p.len(), inst.m);
         }
@@ -153,8 +148,7 @@ mod tests {
         let mut impostor = inst.planted[0].clone();
         impostor[0] = inst.db.alphabet().symbol_at(3); // perturb the pattern half
         if impostor != inst.planted[0] {
-            let c: usize =
-                inst.db.documents().iter().map(|d| naive_count(&impostor, d)).sum();
+            let c: usize = inst.db.documents().iter().map(|d| naive_count(&impostor, d)).sum();
             assert_eq!(c, 0);
         }
         let _ = half;

@@ -49,8 +49,7 @@ mod tests {
     #[test]
     fn instance_has_full_gap() {
         let inst = theorem6_instance(8, 32);
-        let c_db: usize =
-            inst.db.documents().iter().map(|d| naive_count(&inst.pattern, d)).sum();
+        let c_db: usize = inst.db.documents().iter().map(|d| naive_count(&inst.pattern, d)).sum();
         let c_nb: usize =
             inst.neighbor.documents().iter().map(|d| naive_count(&inst.pattern, d)).sum();
         assert_eq!(c_db, 32);

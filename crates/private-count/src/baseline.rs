@@ -92,15 +92,7 @@ pub fn build_simple_trie<R: Rng + ?Sized>(
         frontier = next;
     }
 
-    PrivateCountStructure::new(
-        trie,
-        params.mode,
-        params.privacy,
-        alpha,
-        tau + alpha,
-        n,
-        ell,
-    )
+    PrivateCountStructure::new(trie, params.mode, params.privacy, alpha, tau + alpha, n, ell)
 }
 
 #[cfg(test)]
@@ -137,8 +129,7 @@ mod tests {
         let mk = |ell: usize| {
             let docs = vec![vec![b'a'; ell]; 4];
             let db =
-                Database::new(dpsc_strkit::alphabet::Alphabet::lowercase(4), ell, docs)
-                    .unwrap();
+                Database::new(dpsc_strkit::alphabet::Alphabet::lowercase(4), ell, docs).unwrap();
             let idx = CorpusIndex::build(&db);
             let mut rng = StdRng::seed_from_u64(92);
             let params = SimpleTrieParams {

@@ -142,8 +142,7 @@ fn build_impl<R: Rng + ?Sized>(
     // Absent strings are bounded by the worse of: not selected as candidate
     // (count < τ_cand + α_cand ≤ 3α_cand analytically) or pruned
     // (count < prune_threshold + α).
-    let alpha_absent =
-        (candidates.tau + candidates.alpha).max(out.prune_threshold + out.alpha);
+    let alpha_absent = (candidates.tau + candidates.alpha).max(out.prune_threshold + out.alpha);
 
     Ok(PrivateCountStructure::new(
         out.trie,
@@ -168,21 +167,16 @@ mod tests {
         let db = Database::paper_example();
         let idx = CorpusIndex::build(&db);
         let mut rng = StdRng::seed_from_u64(61);
-        let params = BuildParams::new(
-            CountMode::Substring,
-            PrivacyParams::pure(1e9),
-            0.1,
-        )
-        .with_thresholds(0.9, 0.5);
+        let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e9), 0.1)
+            .with_thresholds(0.9, 0.5);
         let s = build_pure(&idx, &params, &mut rng).unwrap();
         // Example 1: count(ab) = 4; count_1(ab) = 3.
         assert!((s.query(b"ab") - 4.0).abs() < 1e-3);
         assert!((s.query(b"absab") - 1.0).abs() < 1e-3);
         assert_eq!(s.query(b"zz"), 0.0);
 
-        let params_doc =
-            BuildParams::new(CountMode::Document, PrivacyParams::pure(1e9), 0.1)
-                .with_thresholds(0.9, 0.5);
+        let params_doc = BuildParams::new(CountMode::Document, PrivacyParams::pure(1e9), 0.1)
+            .with_thresholds(0.9, 0.5);
         let mut rng = StdRng::seed_from_u64(62);
         let sdoc = build_pure(&idx, &params_doc, &mut rng).unwrap();
         assert!((sdoc.query(b"ab") - 3.0).abs() < 1e-3);
@@ -193,12 +187,8 @@ mod tests {
         let db = Database::paper_example();
         let idx = CorpusIndex::build(&db);
         let mut rng = StdRng::seed_from_u64(63);
-        let params = BuildParams::new(
-            CountMode::Document,
-            PrivacyParams::approx(1e9, 1e-9),
-            0.1,
-        )
-        .with_thresholds(0.9, 0.5);
+        let params = BuildParams::new(CountMode::Document, PrivacyParams::approx(1e9, 1e-9), 0.1)
+            .with_thresholds(0.9, 0.5);
         let s = build_approx(&idx, &params, &mut rng).unwrap();
         assert!((s.query(b"ab") - 3.0).abs() < 1e-3);
         // "be" occurs in abe, babe, bee, bees → document count 4.
@@ -213,14 +203,9 @@ mod tests {
         // must be large or ε moderate for a unit-test-sized corpus. The
         // bound check itself is ε-independent (α scales with the noise).
         let docs: Vec<Vec<u8>> = (0..64)
-            .map(|i| {
-                (0..32u8)
-                    .map(|j| b'a' + ((i + j as usize) % 3) as u8)
-                    .collect()
-            })
+            .map(|i| (0..32u8).map(|j| b'a' + ((i + j as usize) % 3) as u8).collect())
             .collect();
-        let db =
-            Database::new(dpsc_strkit::alphabet::Alphabet::lowercase(3), 32, docs).unwrap();
+        let db = Database::new(dpsc_strkit::alphabet::Alphabet::lowercase(3), 32, docs).unwrap();
         let idx = CorpusIndex::build(&db);
         let mut rng = StdRng::seed_from_u64(64);
         let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(20.0), 0.1)
@@ -252,8 +237,7 @@ mod tests {
         let db = Database::paper_example();
         let idx = CorpusIndex::build(&db);
         let mut rng = StdRng::seed_from_u64(65);
-        let params =
-            BuildParams::new(CountMode::Substring, PrivacyParams::pure(1.0), 0.1);
+        let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1.0), 0.1);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = build_approx(&idx, &params, &mut rng);
         }));

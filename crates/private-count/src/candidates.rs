@@ -163,8 +163,7 @@ pub(crate) fn doubling_levels<R: Rng + ?Sized>(
         // Distinct length-`len` corpus substrings → SA intervals, for O(1)
         // expected-time concatenation lookups.
         let groups = depth_groups(idx, len);
-        let mut count_of: HashMap<HashValue, SaInterval> =
-            HashMap::with_capacity(groups.len());
+        let mut count_of: HashMap<HashValue, SaInterval> = HashMap::with_capacity(groups.len());
         for g in &groups {
             count_of.insert(idx.substring_hash(g.witness_pos as usize, len), g.interval);
         }
@@ -365,7 +364,7 @@ mod tests {
 
     fn params_with_tau(tau: f64) -> CandidateParams {
         CandidateParams {
-            delta_clip: usize::MAX / 2, // effectively Δ = ℓ clamp below
+            delta_clip: usize::MAX / 2,        // effectively Δ = ℓ clamp below
             privacy: PrivacyParams::pure(1e9), // noise ≈ 0
             beta: 0.1,
             tau_override: Some(tau),
@@ -399,7 +398,8 @@ mod tests {
             assert!(has(s), "missing {s}");
         }
         // C_3 per Example 3 (built from P_2 overlaps).
-        for s in ["aaa", "aab", "aba", "abe", "abs", "baa", "bab", "bee", "bsa", "eee", "saa", "sab"]
+        for s in
+            ["aaa", "aab", "aba", "abe", "abs", "baa", "bab", "bee", "bsa", "eee", "saa", "sab"]
         {
             assert!(has(s), "missing C_3 string {s}");
         }

@@ -73,10 +73,8 @@ pub fn evaluate_mining(
     let reported_set: HashSet<&[u8]> = reported.iter().map(|s| s.as_slice()).collect();
     // Clause (1): strings with count ≥ τ + α must all be reported.
     let must_report = frequent_substrings(idx, delta_clip, tau + alpha, fixed_len);
-    let missed: Vec<Vec<u8>> = must_report
-        .into_iter()
-        .filter(|s| !reported_set.contains(s.as_slice()))
-        .collect();
+    let missed: Vec<Vec<u8>> =
+        must_report.into_iter().filter(|s| !reported_set.contains(s.as_slice())).collect();
     // Clause (2): reported strings must have count > τ − α.
     let spurious: Vec<Vec<u8>> = reported
         .iter()
@@ -88,15 +86,8 @@ pub fn evaluate_mining(
         frequent_substrings(idx, delta_clip, tau, fixed_len).into_iter().collect();
     let hit = reported.iter().filter(|s| qualifying.contains(*s)).count();
     let precision = if reported.is_empty() { 1.0 } else { hit as f64 / reported.len() as f64 };
-    let recall =
-        if qualifying.is_empty() { 1.0 } else { hit as f64 / qualifying.len() as f64 };
-    MiningEvaluation {
-        missed,
-        spurious,
-        precision,
-        recall,
-        true_frequent: qualifying.len(),
-    }
+    let recall = if qualifying.is_empty() { 1.0 } else { hit as f64 / qualifying.len() as f64 };
+    MiningEvaluation { missed, spurious, precision, recall, true_frequent: qualifying.len() }
 }
 
 #[cfg(test)]
@@ -138,9 +129,8 @@ mod tests {
         let db = Database::paper_example();
         let idx = CorpusIndex::build(&db);
         let mut rng = StdRng::seed_from_u64(101);
-        let params =
-            BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e9), 0.1)
-                .with_thresholds(0.9, 0.5);
+        let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e9), 0.1)
+            .with_thresholds(0.9, 0.5);
         let s = build_pure(&idx, &params, &mut rng).unwrap();
         // Off-integer thresholds: counts are integers; with near-zero noise
         // a count exactly equal to τ is a coin flip on the noise sign.

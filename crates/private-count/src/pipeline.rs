@@ -65,11 +65,7 @@ pub struct PipelineOutput {
 /// a time ([`CorpusIndex::extend_interval`]), so inserting a candidate of
 /// length `m` costs `O(m log N)` plus the clipped-count evaluation of its
 /// *new* nodes only.
-pub fn build_count_trie(
-    idx: &CorpusIndex,
-    candidates: &[Vec<u8>],
-    delta_clip: usize,
-) -> Trie<u64> {
+pub fn build_count_trie(idx: &CorpusIndex, candidates: &[Vec<u8>], delta_clip: usize) -> Trie<u64> {
     let root_count = idx.count_clipped(b"", delta_clip);
     let mut trie: Trie<u64> = Trie::new(root_count);
     for cand in candidates {
@@ -131,11 +127,7 @@ pub fn run_pipeline_on_trie<R: Rng + ?Sized>(
     let (root_noise, root_error) = if params.gaussian {
         let l2 = l2_from_l1_linf(l1_roots, delta_clip as f64);
         (
-            Noise::gaussian_for(
-                params.privacy_roots.epsilon,
-                params.privacy_roots.delta,
-                l2,
-            ),
+            Noise::gaussian_for(params.privacy_roots.epsilon, params.privacy_roots.delta, l2),
             gaussian_sup_error(
                 params.privacy_roots.epsilon,
                 params.privacy_roots.delta,
@@ -197,9 +189,7 @@ pub fn run_pipeline_on_trie<R: Rng + ?Sized>(
         if path.len() > 1 {
             let diff: Vec<f64> = path
                 .windows(2)
-                .map(|w| {
-                    *counts_trie.value(w[1]) as f64 - *counts_trie.value(w[0]) as f64
-                })
+                .map(|w| *counts_trie.value(w[1]) as f64 - *counts_trie.value(w[0]) as f64)
                 .collect();
             let mech = BinaryTreeMechanism::build(&diff, diff_noise, rng);
             for (i, &v) in path.iter().enumerate().skip(1) {
@@ -263,10 +253,7 @@ mod tests {
                 );
             }
             // Root holds count_Δ of the empty string.
-            assert_eq!(
-                *trie.value(Trie::<u64>::ROOT),
-                idx.count_clipped(b"", delta)
-            );
+            assert_eq!(*trie.value(Trie::<u64>::ROOT), idx.count_clipped(b"", delta));
         }
     }
 
@@ -358,10 +345,7 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(
-            (violations as f64 / trials as f64) <= 0.2,
-            "violations {violations}/{trials}"
-        );
+        assert!((violations as f64 / trials as f64) <= 0.2, "violations {violations}/{trials}");
     }
 
     #[test]
@@ -385,16 +369,9 @@ mod tests {
         // analytic α should be well below the Laplace pipeline's for large ℓ.
         // Compare the *bounds* (the measured gap is experiment T2).
         let docs: Vec<Vec<u8>> = (0..8)
-            .map(|i| {
-                (0..64u8).map(|j| b'a' + ((i * 7 + j as usize) % 4) as u8).collect()
-            })
+            .map(|i| (0..64u8).map(|j| b'a' + ((i * 7 + j as usize) % 4) as u8).collect())
             .collect();
-        let db = Database::new(
-            dpsc_strkit::alphabet::Alphabet::lowercase(4),
-            64,
-            docs,
-        )
-        .unwrap();
+        let db = Database::new(dpsc_strkit::alphabet::Alphabet::lowercase(4), 64, docs).unwrap();
         let idx = CorpusIndex::build(&db);
         let cands = all_substrings(&db);
         let mut rng = StdRng::seed_from_u64(54);

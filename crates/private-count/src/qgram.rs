@@ -57,17 +57,8 @@ pub fn build_qgram_pure<R: Rng + ?Sized>(
 
     // Phase A (ε/2): doubling levels up to 2^{⌊log q⌋}.
     let j = (q as f64).log2().floor() as usize;
-    let doubling = doubling_levels(
-        idx,
-        delta_clip,
-        half,
-        beta_half,
-        false,
-        params.tau_override,
-        cap,
-        j,
-        rng,
-    )?;
+    let doubling =
+        doubling_levels(idx, delta_clip, half, beta_half, false, params.tau_override, cap, j, rng)?;
     let top: &[Cand] = doubling.levels.last().map(|v| v.as_slice()).unwrap_or(&[]);
     let pow = 1usize << j;
 
@@ -213,10 +204,8 @@ mod tests {
         let mined = s.mine_qgrams(2, 2.0);
         // Paper example: count(ab)=4, count(be)=3, count(aa)=3, count(ee)=3,
         // count(ba)=2, count(es)=1, count(bs)=1, count(sa)=1.
-        let strings: Vec<String> = mined
-            .iter()
-            .map(|(g, _)| String::from_utf8(g.clone()).unwrap())
-            .collect();
+        let strings: Vec<String> =
+            mined.iter().map(|(g, _)| String::from_utf8(g.clone()).unwrap()).collect();
         assert!(strings.contains(&"ab".to_string()));
         assert!(strings.contains(&"aa".to_string()));
         assert!(!strings.contains(&"es".to_string()));

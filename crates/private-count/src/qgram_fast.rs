@@ -120,8 +120,7 @@ fn build_qgram_fast_impl<R: Rng + ?Sized>(
 
     // σ = 2ε₁⁻¹√(2ℓΔ·ln(2/δ₁)); α from the Gaussian tail over
     // K = max{ℓ²n², |Σ|} counts.
-    let sigma_noise =
-        2.0 / eps1 * (2.0 * ell as f64 * delta_clip as f64 * ln_2_over_delta1).sqrt();
+    let sigma_noise = 2.0 / eps1 * (2.0 * ell as f64 * delta_clip as f64 * ln_2_over_delta1).sqrt();
     let noise = Noise::Gaussian { sigma: sigma_noise };
     let k_counts = ((ell * ell) as f64 * (n * n) as f64).max(sigma as f64);
     let alpha = sigma_noise * (2.0 * ((2.0 * k_counts).ln() - log_beta1)).sqrt();
@@ -194,15 +193,7 @@ fn build_qgram_fast_impl<R: Rng + ?Sized>(
     }
     fixup_interior(&mut trie);
 
-    Ok(PrivateCountStructure::new(
-        trie,
-        params.mode,
-        params.privacy,
-        alpha,
-        tau + alpha,
-        n,
-        ell,
-    ))
+    Ok(PrivateCountStructure::new(trie, params.mode, params.privacy, alpha, tau + alpha, n, ell))
 }
 
 #[cfg(test)]

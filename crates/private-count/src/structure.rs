@@ -233,9 +233,9 @@ impl PrivateCountStructure {
             "document" => CountMode::Document,
             "substring" => CountMode::Substring,
             other => match other.strip_prefix("clipped:") {
-                Some(d) => CountMode::Clipped(
-                    d.parse().map_err(|e| format!("bad clip level: {e}"))?,
-                ),
+                Some(d) => {
+                    CountMode::Clipped(d.parse().map_err(|e| format!("bad clip level: {e}"))?)
+                }
                 None => return Err(format!("bad mode: {other:?}")),
             },
         };
@@ -260,9 +260,8 @@ impl PrivateCountStructure {
             if line.is_empty() {
                 continue;
             }
-            let (hex, count) = line
-                .split_once('\t')
-                .ok_or_else(|| format!("line {}: missing tab", lineno + 2))?;
+            let (hex, count) =
+                line.split_once('\t').ok_or_else(|| format!("line {}: missing tab", lineno + 2))?;
             let count: f64 =
                 count.parse().map_err(|e| format!("line {}: bad count: {e}", lineno + 2))?;
             if hex.is_empty() {
@@ -378,14 +377,13 @@ mod tests {
     fn from_text_rejects_malformed_input() {
         assert!(PrivateCountStructure::from_text("").is_err());
         assert!(PrivateCountStructure::from_text("nonsense header").is_err());
-        assert!(PrivateCountStructure::from_text(
-            "dpsc-v1 substring 1 0e0 1 2 6 5\nzz\t1.0\n"
-        )
-        .is_err()); // bad hex
-        assert!(PrivateCountStructure::from_text(
-            "dpsc-v1 substring 1 0e0 1 2 6 5\n61 1.0\n"
-        )
-        .is_err()); // missing tab
+        assert!(
+            PrivateCountStructure::from_text("dpsc-v1 substring 1 0e0 1 2 6 5\nzz\t1.0\n").is_err()
+        ); // bad hex
+        assert!(
+            PrivateCountStructure::from_text("dpsc-v1 substring 1 0e0 1 2 6 5\n61 1.0\n").is_err()
+        ); // missing tab
+
         // Valid minimal: root only.
         let ok = PrivateCountStructure::from_text("dpsc-v1 document 1 0e0 1 2 6 5\n\t9.5\n")
             .expect("valid");

@@ -123,12 +123,9 @@ fn edge_case_single_document_single_letter() {
 
 #[test]
 fn edge_case_length_one_documents() {
-    let db = Database::new(
-        Alphabet::lowercase(4),
-        1,
-        vec![b"a".to_vec(), b"b".to_vec(), b"a".to_vec()],
-    )
-    .unwrap();
+    let db =
+        Database::new(Alphabet::lowercase(4), 1, vec![b"a".to_vec(), b"b".to_vec(), b"a".to_vec()])
+            .unwrap();
     let idx = CorpusIndex::build(&db);
     let mut rng = StdRng::seed_from_u64(5);
     let params = BuildParams::new(CountMode::Document, PrivacyParams::pure(1e12), 0.1)

@@ -27,10 +27,7 @@ impl Alphabet {
     /// Panics if `size == 0` or `base as usize + size > 256`.
     pub fn new(base: u8, size: u16) -> Self {
         assert!(size > 0, "alphabet must be non-empty");
-        assert!(
-            base as usize + size as usize <= 256,
-            "alphabet range exceeds byte values"
-        );
+        assert!(base as usize + size as usize <= 256, "alphabet range exceeds byte values");
         Self { base, size }
     }
 
@@ -329,11 +326,7 @@ mod tests {
         assert_eq!(db.n(), 6);
         assert_eq!(db.max_len(), 5);
         // count_1(ab, D) = 3, count(ab, D) = 4 (Example 1).
-        let doc_count = db
-            .documents()
-            .iter()
-            .filter(|d| crate::naive_contains(b"ab", d))
-            .count();
+        let doc_count = db.documents().iter().filter(|d| crate::naive_contains(b"ab", d)).count();
         let sub_count: usize = db.documents().iter().map(|d| crate::naive_count(b"ab", d)).sum();
         assert_eq!(doc_count, 3);
         assert_eq!(sub_count, 4);
@@ -344,12 +337,7 @@ mod tests {
         let db = Database::paper_example();
         let nb = db.neighbor_replacing(2, b"zzz".to_vec()).unwrap();
         assert_eq!(nb.n(), db.n());
-        let diff = db
-            .documents()
-            .iter()
-            .zip(nb.documents())
-            .filter(|(a, b)| a != b)
-            .count();
+        let diff = db.documents().iter().zip(nb.documents()).filter(|(a, b)| a != b).count();
         assert_eq!(diff, 1);
     }
 }

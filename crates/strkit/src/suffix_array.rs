@@ -41,10 +41,7 @@ impl SuffixArray {
             text.iter().all(|&c| (c as usize) < sigma),
             "text symbol outside declared alphabet"
         );
-        assert!(
-            text.len() <= u32::MAX as usize - 2,
-            "text too long for u32 indexing"
-        );
+        assert!(text.len() <= u32::MAX as usize - 2, "text too long for u32 indexing");
         let n = text.len();
         if n == 0 {
             return Self { sa: Vec::new(), rank: Vec::new() };

@@ -60,9 +60,7 @@ impl<V> Trie<V> {
     /// The child of `node` along `symbol`, if present.
     pub fn child(&self, node: NodeId, symbol: u8) -> Option<NodeId> {
         let kids = &self.nodes[node as usize].children;
-        kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol)
-            .ok()
-            .map(|i| kids[i])
+        kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol).ok().map(|i| kids[i])
     }
 
     /// Ensures a child of `node` along `symbol` exists (creating it with
@@ -167,12 +165,8 @@ impl<V> Trie<V> {
     ) -> Trie<W> {
         let mut out = Trie::new(map(Self::ROOT, self.value(Self::ROOT)));
         // Stack of (old_id, new_parent_id).
-        let mut stack: Vec<(NodeId, NodeId)> = self
-            .children(Self::ROOT)
-            .iter()
-            .rev()
-            .map(|&c| (c, Trie::<W>::ROOT))
-            .collect();
+        let mut stack: Vec<(NodeId, NodeId)> =
+            self.children(Self::ROOT).iter().rev().map(|&c| (c, Trie::<W>::ROOT)).collect();
         while let Some((old, new_parent)) = stack.pop() {
             if !keep(old, self.value(old)) {
                 continue;
@@ -243,8 +237,7 @@ mod tests {
         for &b in [b'c', b'a', b'z', b'b'].iter() {
             t.insert_path(&[b], |_| ());
         }
-        let syms: Vec<u8> =
-            t.children(Trie::<()>::ROOT).iter().map(|&c| t.symbol(c)).collect();
+        let syms: Vec<u8> = t.children(Trie::<()>::ROOT).iter().map(|&c| t.symbol(c)).collect();
         assert_eq!(syms, vec![b'a', b'b', b'c', b'z']);
     }
 

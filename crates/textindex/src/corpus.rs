@@ -172,10 +172,8 @@ impl CorpusIndex {
                 0
             }
         };
-        let lo = iv.lo
-            + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) < c);
-        let hi = iv.lo
-            + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) <= c);
+        let lo = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) < c);
+        let hi = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) <= c);
         SaInterval { lo, hi }
     }
 
@@ -202,10 +200,7 @@ impl CorpusIndex {
         assert!(delta >= 1, "Δ must be at least 1");
         if pattern.is_empty() {
             // count(ε, S) = |S|, clipped at Δ per document.
-            return self
-                .doc_lengths()
-                .map(|len| len.min(delta) as u64)
-                .sum();
+            return self.doc_lengths().map(|len| len.min(delta) as u64).sum();
         }
         let iv = self.interval(pattern);
         self.count_clipped_in_interval(iv, delta)
@@ -375,10 +370,8 @@ mod tests {
             for i in 0..doc.len() {
                 for j in i + 1..=doc.len() {
                     let p = &doc[i..j];
-                    let want_count: usize =
-                        db.documents().iter().map(|d| naive_count(p, d)).sum();
-                    let want_docs =
-                        db.documents().iter().filter(|d| naive_contains(p, d)).count();
+                    let want_count: usize = db.documents().iter().map(|d| naive_count(p, d)).sum();
+                    let want_docs = db.documents().iter().filter(|d| naive_contains(p, d)).count();
                     assert_eq!(idx.count(p), want_count, "count of {:?}", p);
                     assert_eq!(idx.document_count(p), want_docs, "doc count of {:?}", p);
                     for delta in 1..=db.max_len() {
@@ -436,8 +429,7 @@ mod tests {
 
     #[test]
     fn single_document_corpus() {
-        let db =
-            Database::new(Alphabet::lowercase(26), 6, vec![b"banana".to_vec()]).unwrap();
+        let db = Database::new(Alphabet::lowercase(26), 6, vec![b"banana".to_vec()]).unwrap();
         let idx = CorpusIndex::build(&db);
         assert_eq!(idx.count(b"an"), 2);
         assert_eq!(idx.document_count(b"an"), 1);

@@ -22,17 +22,10 @@ use rand::Rng;
 
 /// Uniform random corpus: `n` documents of length exactly `ell` over the
 /// first `sigma` lowercase letters.
-pub fn random_corpus<R: Rng + ?Sized>(
-    n: usize,
-    ell: usize,
-    sigma: u16,
-    rng: &mut R,
-) -> Database {
+pub fn random_corpus<R: Rng + ?Sized>(n: usize, ell: usize, sigma: u16, rng: &mut R) -> Database {
     let alphabet = Alphabet::lowercase(sigma);
     let docs = (0..n)
-        .map(|_| {
-            (0..ell).map(|_| alphabet.symbol_at(rng.gen_range(0..alphabet.size()))).collect()
-        })
+        .map(|_| (0..ell).map(|_| alphabet.symbol_at(rng.gen_range(0..alphabet.size()))).collect())
         .collect();
     Database::new(alphabet, ell, docs).expect("generated documents are valid")
 }
@@ -58,11 +51,7 @@ pub fn markov_corpus<R: Rng + ?Sized>(
             for _ in 1..ell {
                 // With probability `skew`, take the favored successor
                 // (cur + 1 mod s); otherwise uniform.
-                cur = if rng.gen::<f64>() < skew {
-                    (cur + 1) % s
-                } else {
-                    rng.gen_range(0..s)
-                };
+                cur = if rng.gen::<f64>() < skew { (cur + 1) % s } else { rng.gen_range(0..s) };
                 doc.push(alphabet.symbol_at(cur));
             }
             doc
@@ -97,9 +86,8 @@ pub fn dna_corpus<R: Rng + ?Sized>(
         .iter()
         .map(|_| (0..motif_len).map(|_| rng.gen_range(0..4u8)).collect())
         .collect();
-    let mut docs: Vec<Vec<u8>> = (0..n)
-        .map(|_| (0..ell).map(|_| rng.gen_range(0..4u8)).collect())
-        .collect();
+    let mut docs: Vec<Vec<u8>> =
+        (0..n).map(|_| (0..ell).map(|_| rng.gen_range(0..4u8)).collect()).collect();
     for (motif, &freq) in motifs.iter().zip(frequencies) {
         for doc in docs.iter_mut() {
             if rng.gen::<f64>() < freq {
@@ -109,10 +97,7 @@ pub fn dna_corpus<R: Rng + ?Sized>(
         }
     }
     let db = Database::new(alphabet, ell, docs).expect("generated documents are valid");
-    DnaCorpus {
-        db,
-        motifs: motifs.into_iter().zip(frequencies.iter().copied()).collect(),
-    }
+    DnaCorpus { db, motifs: motifs.into_iter().zip(frequencies.iter().copied()).collect() }
 }
 
 /// A transit-log corpus with planted popular routes.
@@ -142,9 +127,7 @@ pub fn transit_corpus<R: Rng + ?Sized>(
     let alphabet = Alphabet::lowercase(stations.min(26));
     let s = alphabet.size();
     let routes: Vec<Vec<u8>> = (0..n_routes)
-        .map(|_| {
-            (0..route_len).map(|_| alphabet.symbol_at(rng.gen_range(0..s))).collect()
-        })
+        .map(|_| (0..route_len).map(|_| alphabet.symbol_at(rng.gen_range(0..s))).collect())
         .collect();
     let docs: Vec<Vec<u8>> = (0..n)
         .map(|_| {
@@ -223,10 +206,7 @@ mod tests {
             .iter()
             .map(|r| corpus.db.documents().iter().filter(|d| naive_contains(r, d)).count())
             .sum();
-        assert!(
-            total_riders_on_routes > 100,
-            "planted routes too rare: {total_riders_on_routes}"
-        );
+        assert!(total_riders_on_routes > 100, "planted routes too rare: {total_riders_on_routes}");
         // Variable trip lengths.
         let lens: std::collections::HashSet<usize> =
             corpus.db.documents().iter().map(|d| d.len()).collect();

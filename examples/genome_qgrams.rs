@@ -71,8 +71,7 @@ fn main() {
 
     // Utility audit against Definition 2.
     let tau = 3000.0;
-    let mined: Vec<Vec<u8>> =
-        structure.mine_qgrams(q, tau).into_iter().map(|(g, _)| g).collect();
+    let mined: Vec<Vec<u8>> = structure.mine_qgrams(q, tau).into_iter().map(|(g, _)| g).collect();
     let eval = evaluate_mining(&idx, 1, &mined, tau, structure.alpha_counts(), Some(q));
     println!(
         "\nDefinition 2 audit at τ = {tau}: {} truly-frequent, precision {:.2}, recall {:.2}, contract holds: {}",

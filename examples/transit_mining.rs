@@ -22,11 +22,7 @@ fn main() {
     // 3 popular route segments of 4 stations used by ~90% of riders.
     let corpus = transit_corpus(10_000, 24, 10, 3, 4, 0.9, &mut rng);
     let idx = CorpusIndex::build(&corpus.db);
-    println!(
-        "transit corpus: {} riders, trips ≤ {} stations",
-        corpus.db.n(),
-        corpus.db.max_len(),
-    );
+    println!("transit corpus: {} riders, trips ≤ {} stations", corpus.db.n(), corpus.db.max_len());
     for route in &corpus.routes {
         println!(
             "  planted route {:?}: ridden by {} riders",
@@ -42,9 +38,8 @@ fn main() {
     let tau_demo = 1200.0;
 
     // Theorem 2 pipeline ((ε,δ)-DP, Gaussian noise, √(ℓΔ) error at Δ=1).
-    let params =
-        BuildParams::new(CountMode::Document, PrivacyParams::approx(eps, 1e-6), 0.1)
-            .with_thresholds(tau_demo, tau_demo);
+    let params = BuildParams::new(CountMode::Document, PrivacyParams::approx(eps, 1e-6), 0.1)
+        .with_thresholds(tau_demo, tau_demo);
     let t0 = std::time::Instant::now();
     let ours = build_approx(&idx, &params, &mut rng).expect("construction succeeded");
     let t_ours = t0.elapsed();
@@ -64,7 +59,11 @@ fn main() {
 
     println!("\nnoise scale comparison at ε = {eps} (ℓ = {}):", corpus.db.max_len());
     println!("  Theorem 2 heavy-path pipeline: α ≤ {:8.0} ({:.1?})", ours.alpha_counts(), t_ours);
-    println!("  simple-trie baseline [19]:     α ≤ {:8.0} ({:.1?})", baseline.alpha_counts(), t_base);
+    println!(
+        "  simple-trie baseline [19]:     α ≤ {:8.0} ({:.1?})",
+        baseline.alpha_counts(),
+        t_base
+    );
 
     // How well does each recover the planted routes at the mining threshold?
     println!("\nplanted-route recovery (noisy document count, τ = {tau_demo}):");
@@ -81,8 +80,7 @@ fn main() {
 
     // Mining precision/recall for length-4 segments.
     for (name, s) in [("Theorem 2", &ours), ("baseline", &baseline)] {
-        let mined: Vec<Vec<u8>> =
-            s.mine_qgrams(4, tau_demo).into_iter().map(|(g, _)| g).collect();
+        let mined: Vec<Vec<u8>> = s.mine_qgrams(4, tau_demo).into_iter().map(|(g, _)| g).collect();
         let eval = evaluate_mining(&idx, 1, &mined, tau_demo, s.alpha_counts(), Some(4));
         println!(
             "\n{name}: mined {} segments of length 4 (truly frequent: {}), precision {:.2}, recall {:.2}",

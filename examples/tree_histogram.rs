@@ -59,11 +59,7 @@ fn main() {
     println!("\nTheorem 8 (ε = 1) hierarchical histogram   [true → noisy]");
     println!("  whole country: {:7} → {:9.1}", exact[0], est.values[0]);
     for state in 0..4usize {
-        println!(
-            "  state {state}:       {:7} → {:9.1}",
-            exact[1 + state],
-            est.values[1 + state],
-        );
+        println!("  state {state}:       {:7} → {:9.1}", exact[1 + state], est.values[1 + state]);
     }
     println!(
         "  max error over all {} nodes: {:.1} (analytic bound α = {:.1})",

@@ -55,13 +55,7 @@ fn theorem1_end_to_end_substring_count() {
     // above the pruning threshold may be missing.
     let margin = tau + s.alpha_counts();
     for p in frequent_substrings(&idx, db.max_len(), margin + 1.0, None) {
-        assert!(
-            s.contains(&p),
-            "{:?} has count {} > {} but is absent",
-            p,
-            idx.count(&p),
-            margin
-        );
+        assert!(s.contains(&p), "{:?} has count {} > {} but is absent", p, idx.count(&p), margin);
     }
 }
 
