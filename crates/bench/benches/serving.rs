@@ -1,0 +1,76 @@
+//! Serving benchmark: queries/second against the released synopsis —
+//! pointer-trie walk (`PrivateCountStructure::query`) vs the flat frozen
+//! index (`FrozenSynopsis`), single-query vs batch vs parallel-batch.
+//!
+//! Fixtures are shared with the `serving_throughput` experiment
+//! (`dpsc_bench::exps::serving`):
+//! * `dp_built` — a genuine Theorem-1 construction on a Markov corpus
+//!   (~10⁴ nodes; construction cost keeps this size modest);
+//! * `synthetic` — a ≥10⁵-node synopsis assembled directly from
+//!   Markov-generated strings with noise-shaped counts, sizing the
+//!   serving layer like a production release without minutes of DP
+//!   construction per bench run.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpsc_bench::exps::serving::{dp_built, synthetic};
+
+fn bench_single_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_single_query");
+    for (name, (structure, workload)) in
+        [("dp_built", dp_built(1024)), ("synthetic", synthetic(150_000, 1024))]
+    {
+        if name == "synthetic" {
+            assert!(structure.node_count() >= 100_000, "bench synopsis must have ≥1e5 nodes");
+        }
+        let frozen = structure.freeze();
+        let nodes = frozen.node_count();
+        let pats: Vec<&[u8]> = workload.iter().map(|p| p.as_slice()).collect();
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("trie_walk/{name}"), nodes),
+            &pats,
+            |b, pats| {
+                b.iter(|| {
+                    i = (i + 1) % pats.len();
+                    structure.query(black_box(pats[i]))
+                });
+            },
+        );
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("frozen/{name}"), nodes),
+            &pats,
+            |b, pats| {
+                b.iter(|| {
+                    i = (i + 1) % pats.len();
+                    frozen.query(black_box(pats[i]))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (structure, workload) = synthetic(150_000, 1024);
+    let frozen = structure.freeze();
+    let pats: Vec<&[u8]> = workload.iter().map(|p| p.as_slice()).collect();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut group = c.benchmark_group("serving_batch_1024");
+    group.bench_function("trie_walk_loop", |b| {
+        b.iter(|| {
+            let out: Vec<f64> = pats.iter().map(|p| structure.query(black_box(p))).collect();
+            out
+        });
+    });
+    group.bench_function("frozen_batch", |b| {
+        b.iter(|| frozen.query_batch(black_box(&pats)));
+    });
+    group.bench_function("frozen_parallel", |b| {
+        b.iter(|| frozen.query_batch_parallel(black_box(&pats), threads));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_query, bench_batch);
+criterion_main!(benches);

@@ -18,6 +18,9 @@
 //!   `O(|P|)` queries, arbitrary-threshold frequent-pattern
 //!   [`mining`](structure::PrivateCountStructure::mine) with **no further
 //!   privacy loss** (post-processing).
+//! * [`synopsis::FrozenSynopsis`] — the serving layer: the published trie
+//!   flattened into an immutable CSR index with allocation-free lookups,
+//!   batch/parallel query paths, and a checksummed binary codec.
 //! * [`baseline::build_simple_trie`] — the `Ω(ℓ²)`-error prior-work
 //!   baseline the paper improves on (\[10, 18, 19, 50, 51, 72\]).
 //! * [`mining::evaluate_mining`] — Definition 2 contract auditing.
@@ -36,6 +39,7 @@ pub mod pipeline;
 pub mod qgram;
 pub mod qgram_fast;
 pub mod structure;
+pub mod synopsis;
 
 pub use baseline::{build_simple_trie, SimpleTrieParams};
 pub use builder::{build_approx, build_pure, BuildError, BuildParams};
@@ -44,3 +48,4 @@ pub use mining::{evaluate_mining, frequent_substrings, MiningEvaluation};
 pub use qgram::{build_qgram_pure, QgramParams};
 pub use qgram_fast::{build_qgram_fast, FastQgramParams, PhaseOverflow};
 pub use structure::{CountMode, PrivateCountStructure};
+pub use synopsis::FrozenSynopsis;

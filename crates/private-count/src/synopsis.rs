@@ -1,0 +1,677 @@
+//! Frozen serving-layer synopsis: the published trie flattened into an
+//! immutable CSR index.
+//!
+//! [`PrivateCountStructure`] is the *construction-time* artifact: an
+//! arena trie whose node-by-node pointer chasing is convenient while the
+//! pipeline inserts, prunes and re-counts, but wasteful once the synopsis
+//! is released and only ever *read*. Because the released structure is
+//! pure post-processing, it can be re-shaped freely with no privacy cost —
+//! so [`FrozenSynopsis::freeze`] performs a one-shot flatten into four
+//! contiguous arrays (breadth-first node order, CSR edge lists with
+//! per-node sorted labels), giving allocation-free `O(|P| log σ)` lookups
+//! with two cache-friendly slices per pattern byte instead of a pointer
+//! walk through scattered arena nodes.
+//!
+//! The frozen form is also the *shippable* form: [`FrozenSynopsis::to_bytes`]
+//! / [`FrozenSynopsis::from_bytes`] implement a compact versioned binary
+//! codec (checksummed, length-checked, structurally validated) mirroring
+//! the text codec on [`PrivateCountStructure`], so a synopsis can be built
+//! once under the privacy budget and served from many replicas.
+
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_strkit::trie::Trie;
+
+use crate::structure::{CountMode, PrivateCountStructure};
+
+/// Magic bytes opening the binary format ("DP Synopsis, Frozen").
+const MAGIC: [u8; 4] = *b"DPSF";
+/// Current binary format version.
+const VERSION: u16 = 1;
+/// Fixed-size header: magic(4) version(2) mode(1) clip(8) ε(8) δ(8)
+/// α_counts(8) α_absent(8) n_docs(8) ℓ(8) n_nodes(8) n_edges(8).
+const HEADER_LEN: usize = 4 + 2 + 1 + 8 * 9;
+
+/// An immutable, flat, serializable `count_Δ` synopsis.
+///
+/// Node `0` is the root (the empty string); nodes are numbered in
+/// breadth-first order, so every node's children occupy a contiguous id
+/// range and the edge arrays of consecutive nodes are adjacent in memory.
+/// For node `v`, the outgoing edges are
+/// `edge_label[edge_start[v]..edge_start[v+1]]` (strictly increasing
+/// labels) with parallel targets in `edge_target`; its noisy count is
+/// `counts[v]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenSynopsis {
+    /// Noisy `count_Δ(str(v))` per node, indexed by frozen node id.
+    counts: Vec<f64>,
+    /// CSR offsets into the edge arrays; length `counts.len() + 1`.
+    edge_start: Vec<u32>,
+    /// Edge labels, sorted within each node's range.
+    edge_label: Vec<u8>,
+    /// Edge targets parallel to `edge_label`.
+    edge_target: Vec<u32>,
+    mode: CountMode,
+    privacy: PrivacyParams,
+    alpha_counts: f64,
+    alpha_absent: f64,
+    n_docs: usize,
+    max_len: usize,
+}
+
+impl FrozenSynopsis {
+    /// Flattens a built structure into the frozen serving layout.
+    /// One pass of `O(nodes)` work; the input is unchanged (post-processing).
+    pub fn freeze(structure: &PrivateCountStructure) -> Self {
+        let trie = structure.trie();
+        let n = trie.len();
+        // Breadth-first order: children (already label-sorted in the arena)
+        // receive contiguous frozen ids, so target ranges are contiguous too.
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        order.push(Trie::<f64>::ROOT);
+        let mut head = 0usize;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            order.extend_from_slice(trie.children(u));
+        }
+        debug_assert_eq!(order.len(), n);
+        let mut frozen_of = vec![0u32; n];
+        for (fid, &tid) in order.iter().enumerate() {
+            frozen_of[tid as usize] = fid as u32;
+        }
+        let mut counts = Vec::with_capacity(n);
+        let mut edge_start = Vec::with_capacity(n + 1);
+        let mut edge_label = Vec::with_capacity(n.saturating_sub(1));
+        let mut edge_target = Vec::with_capacity(n.saturating_sub(1));
+        edge_start.push(0);
+        for &tid in &order {
+            counts.push(*trie.value(tid));
+            for &c in trie.children(tid) {
+                edge_label.push(trie.symbol(c));
+                edge_target.push(frozen_of[c as usize]);
+            }
+            edge_start.push(edge_label.len() as u32);
+        }
+        let (n_docs, max_len) = structure.db_params();
+        Self {
+            counts,
+            edge_start,
+            edge_label,
+            edge_target,
+            mode: structure.mode(),
+            privacy: structure.privacy(),
+            alpha_counts: structure.alpha_counts(),
+            alpha_absent: structure.alpha_absent(),
+            n_docs,
+            max_len,
+        }
+    }
+
+    /// The frozen node spelling `pattern`, if present.
+    #[inline]
+    fn locate(&self, pattern: &[u8]) -> Option<u32> {
+        let mut cur = 0u32;
+        for &b in pattern {
+            let lo = self.edge_start[cur as usize] as usize;
+            let hi = self.edge_start[cur as usize + 1] as usize;
+            let i = self.edge_label[lo..hi].binary_search(&b).ok()?;
+            cur = self.edge_target[lo + i];
+        }
+        Some(cur)
+    }
+
+    /// Noisy `count_Δ(P, D)`; absent patterns return 0, exactly as
+    /// [`PrivateCountStructure::query`]. Allocation-free, `O(|P| log σ)`.
+    #[inline]
+    pub fn query(&self, pattern: &[u8]) -> f64 {
+        match self.locate(pattern) {
+            Some(v) => self.counts[v as usize],
+            None => 0.0,
+        }
+    }
+
+    /// Whether the pattern is represented in the synopsis.
+    #[inline]
+    pub fn contains(&self, pattern: &[u8]) -> bool {
+        self.locate(pattern).is_some()
+    }
+
+    /// Answers a batch of queries in order. One output allocation; the
+    /// per-pattern lookups are allocation-free.
+    pub fn query_batch(&self, patterns: &[&[u8]]) -> Vec<f64> {
+        patterns.iter().map(|p| self.query(p)).collect()
+    }
+
+    /// Answers a batch of queries across `threads` scoped worker threads
+    /// (clamped to the batch size; `0` means one thread). Same output as
+    /// [`Self::query_batch`] — the synopsis is immutable, so workers share
+    /// it by reference.
+    pub fn query_batch_parallel(&self, patterns: &[&[u8]], threads: usize) -> Vec<f64> {
+        if patterns.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, patterns.len());
+        let chunk = patterns.len().div_ceil(threads);
+        let mut out = vec![0.0f64; patterns.len()];
+        std::thread::scope(|scope| {
+            for (pats, outs) in patterns.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (p, o) in pats.iter().zip(outs.iter_mut()) {
+                        *o = self.query(p);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// The count mode (`Δ`).
+    #[inline]
+    pub fn mode(&self) -> CountMode {
+        self.mode
+    }
+
+    /// The privacy guarantee of the construction that produced this synopsis.
+    #[inline]
+    pub fn privacy(&self) -> PrivacyParams {
+        self.privacy
+    }
+
+    /// Error bound on stored noisy counts (high probability).
+    #[inline]
+    pub fn alpha_counts(&self) -> f64 {
+        self.alpha_counts
+    }
+
+    /// True-count bound for strings not present in the synopsis.
+    #[inline]
+    pub fn alpha_absent(&self) -> f64 {
+        self.alpha_absent
+    }
+
+    /// Overall additive error `α` (present or absent patterns).
+    pub fn alpha(&self) -> f64 {
+        self.alpha_counts.max(self.alpha_absent)
+    }
+
+    /// Number of nodes, root included.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Database size parameters `(n, ℓ)` the synopsis was built from.
+    pub fn db_params(&self) -> (usize, usize) {
+        (self.n_docs, self.max_len)
+    }
+
+    /// Size of the serialized form in bytes.
+    pub fn serialized_len(&self) -> usize {
+        HEADER_LEN
+            + 8 * self.counts.len()
+            + 4 * self.edge_start.len()
+            + 5 * self.edge_label.len()
+            + 8
+    }
+
+    /// Serializes to the compact versioned binary format.
+    ///
+    /// Layout (all integers little-endian, floats as IEEE-754 bit patterns
+    /// so counts round-trip exactly): a fixed header — magic `DPSF`,
+    /// version, mode tag + clip level, `ε`, `δ`, `α_counts`, `α_absent`,
+    /// `n`, `ℓ`, node count, edge count — then the four arrays (`counts`,
+    /// `edge_start`, `edge_label`, `edge_target`) and a trailing FNV-1a
+    /// checksum of everything before it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let (tag, clip): (u8, u64) = match self.mode {
+            CountMode::Document => (0, 0),
+            CountMode::Substring => (1, 0),
+            CountMode::Clipped(d) => (2, d as u64),
+        };
+        out.push(tag);
+        out.extend_from_slice(&clip.to_le_bytes());
+        out.extend_from_slice(&self.privacy.epsilon.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.privacy.delta.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.alpha_counts.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.alpha_absent.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.n_docs as u64).to_le_bytes());
+        out.extend_from_slice(&(self.max_len as u64).to_le_bytes());
+        out.extend_from_slice(&(self.counts.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.edge_label.len() as u64).to_le_bytes());
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        for &s in &self.edge_start {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&self.edge_label);
+        for &t in &self.edge_target {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses a synopsis previously written by [`Self::to_bytes`].
+    ///
+    /// Decoding is defensive: every read is length-checked, declared array
+    /// sizes are validated against the actual input length *before* any
+    /// allocation, the trailing checksum must match, and the decoded CSR
+    /// arrays must describe a well-formed tree (monotone offsets, sorted
+    /// labels, every non-root node exactly one incoming edge, every node
+    /// reachable from the root). Truncated, version-mismatched or
+    /// corrupted inputs return `Err`, never panic, and accepted encodings
+    /// are canonical: `from_bytes(b)?.to_bytes() == b`.
+    ///
+    /// # Errors
+    /// A description of the first defect found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut cur = Cursor { buf: bytes, pos: 0 };
+        let magic = cur.take(4)?;
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:02x?} (expected {MAGIC:02x?})"));
+        }
+        let version = cur.u16()?;
+        if version != VERSION {
+            return Err(format!("unsupported format version {version} (expected {VERSION})"));
+        }
+        let tag = cur.u8()?;
+        let clip = cur.u64()?;
+        let mode = match tag {
+            // Canonicality: the clip field carries information only for
+            // tag 2; any other encoding must use zero so that equal
+            // synopses have exactly one byte representation.
+            0 | 1 if clip != 0 => {
+                return Err(format!("nonzero clip level {clip} with mode tag {tag}"));
+            }
+            0 => CountMode::Document,
+            1 => CountMode::Substring,
+            2 => {
+                let d = usize::try_from(clip).map_err(|_| "clip level overflows usize")?;
+                CountMode::Clipped(d)
+            }
+            other => return Err(format!("bad mode tag {other}")),
+        };
+        let epsilon = cur.f64()?;
+        let delta = cur.f64()?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(format!("bad epsilon {epsilon}"));
+        }
+        // `-0.0` would satisfy a plain range check but re-serialize as
+        // `+0.0` (PrivacyParams::pure normalizes it), breaking
+        // canonicality — reject the sign bit explicitly.
+        if delta.is_sign_negative() || !((0.0..1.0).contains(&delta)) {
+            return Err(format!("bad delta {delta}"));
+        }
+        let alpha_counts = cur.f64()?;
+        let alpha_absent = cur.f64()?;
+        let n_docs = cur.usize64()?;
+        let max_len = cur.usize64()?;
+        let n_nodes = cur.usize64()?;
+        let n_edges = cur.usize64()?;
+        if n_nodes == 0 {
+            return Err("node count is zero (the root is mandatory)".to_string());
+        }
+        if n_edges != n_nodes - 1 {
+            return Err(format!("edge count {n_edges} != node count {n_nodes} - 1"));
+        }
+        // Validate the declared payload against the real input length before
+        // allocating anything: a corrupt size field must not OOM us (and the
+        // arithmetic itself must not overflow on adversarial sizes).
+        let payload = n_nodes
+            .checked_mul(8)
+            .and_then(|a| n_nodes.checked_add(1)?.checked_mul(4)?.checked_add(a))
+            .and_then(|a| n_edges.checked_mul(5)?.checked_add(a))
+            .and_then(|a| a.checked_add(8))
+            .ok_or("declared sizes overflow")?;
+        let remaining = bytes.len() - cur.pos;
+        if remaining < payload {
+            return Err(format!("truncated input: {remaining} bytes after header, need {payload}"));
+        }
+        if remaining > payload {
+            return Err(format!("trailing garbage: {} extra bytes", remaining - payload));
+        }
+        let declared =
+            u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte checksum slice"));
+        let actual = fnv1a(&bytes[..bytes.len() - 8]);
+        if declared != actual {
+            return Err(format!(
+                "checksum mismatch: stored {declared:016x}, computed {actual:016x}"
+            ));
+        }
+        let counts: Vec<f64> = cur.take(8 * n_nodes)?.chunks_exact(8).map(le_f64).collect();
+        let edge_start: Vec<u32> =
+            cur.take(4 * (n_nodes + 1))?.chunks_exact(4).map(le_u32).collect();
+        let edge_label: Vec<u8> = cur.take(n_edges)?.to_vec();
+        let edge_target: Vec<u32> = cur.take(4 * n_edges)?.chunks_exact(4).map(le_u32).collect();
+
+        // Structural validation: the arrays must describe a tree the query
+        // path can walk without bounds panics.
+        if edge_start[0] != 0 || edge_start[n_nodes] as usize != n_edges {
+            return Err("CSR offsets do not span the edge arrays".to_string());
+        }
+        let mut incoming = vec![false; n_nodes];
+        for v in 0..n_nodes {
+            let (lo, hi) = (edge_start[v] as usize, edge_start[v + 1] as usize);
+            if lo > hi {
+                return Err(format!("CSR offsets decrease at node {v}"));
+            }
+            for e in lo..hi {
+                if e > lo && edge_label[e - 1] >= edge_label[e] {
+                    return Err(format!("edge labels of node {v} are not strictly sorted"));
+                }
+                let t = edge_target[e] as usize;
+                if t == 0 || t >= n_nodes {
+                    return Err(format!("edge target {t} out of range at node {v}"));
+                }
+                if incoming[t] {
+                    return Err(format!("node {t} has two incoming edges"));
+                }
+                incoming[t] = true;
+            }
+        }
+        // In-degree alone admits cycles disconnected from the root (e.g.
+        // 1→2→1 with a childless root); demand full reachability, which
+        // together with `edges = nodes − 1` forces a single tree.
+        let mut reachable = 1usize;
+        let mut queue = vec![0usize];
+        while let Some(v) = queue.pop() {
+            for e in edge_start[v] as usize..edge_start[v + 1] as usize {
+                reachable += 1;
+                queue.push(edge_target[e] as usize);
+            }
+        }
+        if reachable != n_nodes {
+            return Err(format!("{} nodes unreachable from the root", n_nodes - reachable));
+        }
+        let privacy = if delta == 0.0 {
+            PrivacyParams::pure(epsilon)
+        } else {
+            PrivacyParams::approx(epsilon, delta)
+        };
+        Ok(Self {
+            counts,
+            edge_start,
+            edge_label,
+            edge_target,
+            mode,
+            privacy,
+            alpha_counts,
+            alpha_absent,
+            n_docs,
+            max_len,
+        })
+    }
+}
+
+impl PrivateCountStructure {
+    /// Freezes this structure into the flat serving layout
+    /// ([`FrozenSynopsis`]). Post-processing: no privacy cost.
+    pub fn freeze(&self) -> FrozenSynopsis {
+        FrozenSynopsis::freeze(self)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the integrity checksum of the binary
+/// format. Not cryptographic; it detects accidental corruption (the
+/// synopsis itself is public data, so tampering is not in the threat
+/// model).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[inline]
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().expect("4-byte chunk"))
+}
+
+#[inline]
+fn le_f64(b: &[u8]) -> f64 {
+    f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
+}
+
+/// Length-checked reader over the input buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2-byte read")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte read")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize64(&mut self) -> Result<usize, String> {
+        usize::try_from(self.u64()?).map_err(|_| "64-bit size overflows usize".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_structure() -> PrivateCountStructure {
+        let mut trie: Trie<f64> = Trie::new(20.0);
+        let a = trie.insert_path(b"a", |_| 0.0);
+        let ab = trie.insert_path(b"ab", |_| 0.0);
+        let ac = trie.insert_path(b"ac", |_| 0.0);
+        let b = trie.insert_path(b"b", |_| 0.0);
+        *trie.value_mut(a) = 8.25;
+        *trie.value_mut(ab) = 4.125;
+        *trie.value_mut(ac) = 3.5;
+        *trie.value_mut(b) = 6.0;
+        PrivateCountStructure::new(
+            trie,
+            CountMode::Substring,
+            PrivacyParams::pure(1.0),
+            1.5,
+            2.5,
+            6,
+            5,
+        )
+    }
+
+    #[test]
+    fn freeze_preserves_queries_and_metadata() {
+        let s = toy_structure();
+        let f = s.freeze();
+        for pat in [&b""[..], b"a", b"ab", b"ac", b"b", b"ba", b"abc", b"zz"] {
+            assert_eq!(f.query(pat).to_bits(), s.query(pat).to_bits(), "pattern {pat:?}");
+            assert_eq!(f.contains(pat), s.contains(pat), "pattern {pat:?}");
+        }
+        assert_eq!(f.node_count(), s.node_count());
+        assert_eq!(f.mode(), s.mode());
+        assert_eq!(f.privacy(), s.privacy());
+        assert_eq!(f.alpha_counts(), s.alpha_counts());
+        assert_eq!(f.alpha_absent(), s.alpha_absent());
+        assert_eq!(f.alpha(), s.alpha());
+        assert_eq!(f.db_params(), s.db_params());
+    }
+
+    #[test]
+    fn batch_paths_agree_with_single_queries() {
+        let s = toy_structure();
+        let f = s.freeze();
+        let patterns: Vec<&[u8]> = vec![b"", b"a", b"ab", b"ac", b"b", b"zz", b"abc"];
+        let single: Vec<f64> = patterns.iter().map(|p| f.query(p)).collect();
+        assert_eq!(f.query_batch(&patterns), single);
+        for threads in [0usize, 1, 2, 7, 64] {
+            assert_eq!(f.query_batch_parallel(&patterns, threads), single, "threads={threads}");
+        }
+        assert!(f.query_batch_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let s = toy_structure();
+        let f = s.freeze();
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.serialized_len());
+        let back = FrozenSynopsis::from_bytes(&bytes).expect("roundtrip parses");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn root_only_synopsis_works() {
+        let trie: Trie<f64> = Trie::new(7.5);
+        let s = PrivateCountStructure::new(
+            trie,
+            CountMode::Document,
+            PrivacyParams::approx(0.5, 1e-8),
+            1.0,
+            2.0,
+            3,
+            4,
+        );
+        let f = s.freeze();
+        assert_eq!(f.node_count(), 1);
+        assert_eq!(f.query(b""), 7.5);
+        assert_eq!(f.query(b"a"), 0.0);
+        let back = FrozenSynopsis::from_bytes(&f.to_bytes()).expect("parses");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = toy_structure().freeze().to_bytes();
+        for len in 0..bytes.len() {
+            assert!(
+                FrozenSynopsis::from_bytes(&bytes[..len]).is_err(),
+                "prefix of length {len} must not parse"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(FrozenSynopsis::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn version_and_magic_mismatches_are_rejected() {
+        let bytes = toy_structure().freeze().to_bytes();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(FrozenSynopsis::from_bytes(&wrong_magic).unwrap_err().contains("magic"));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(FrozenSynopsis::from_bytes(&wrong_version).unwrap_err().contains("version"));
+    }
+
+    /// Overwrites `bytes[range]` with `patch` and re-stamps the checksum,
+    /// simulating an adversary who keeps the frame valid.
+    fn patch_and_restamp(bytes: &[u8], at: usize, patch: &[u8]) -> Vec<u8> {
+        let mut out = bytes.to_vec();
+        out[at..at + patch.len()].copy_from_slice(patch);
+        let body = out.len() - 8;
+        let sum = fnv1a(&out[..body]);
+        out[body..].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn nonzero_clip_with_non_clipped_tag_is_rejected() {
+        // toy_structure is Substring (tag 1, clip field 0); setting the
+        // clip field with a fixed checksum must fail canonicality.
+        let bytes = toy_structure().freeze().to_bytes();
+        let clip_offset = 4 + 2 + 1; // magic + version + tag
+        let forged = patch_and_restamp(&bytes, clip_offset, &5u64.to_le_bytes());
+        let err = FrozenSynopsis::from_bytes(&forged).unwrap_err();
+        assert!(err.contains("clip"), "unexpected error: {err}");
+        // The same patch on a Clipped-mode synopsis is meaningful and fine.
+        let mut trie: Trie<f64> = Trie::new(1.0);
+        trie.insert_path(b"x", |_| 0.5);
+        let clipped = PrivateCountStructure::new(
+            trie,
+            CountMode::Clipped(7),
+            PrivacyParams::pure(1.0),
+            1.0,
+            2.0,
+            3,
+            4,
+        )
+        .freeze();
+        let reclipped = patch_and_restamp(&clipped.to_bytes(), clip_offset, &5u64.to_le_bytes());
+        let parsed = FrozenSynopsis::from_bytes(&reclipped).expect("valid clipped encoding");
+        assert_eq!(parsed.mode(), CountMode::Clipped(5));
+        assert_eq!(parsed.to_bytes(), reclipped, "canonical re-serialization");
+    }
+
+    #[test]
+    fn negative_zero_delta_is_rejected() {
+        // toy_structure is pure DP (δ = +0.0); flipping δ's sign bit with
+        // a restamped checksum must fail rather than decode to a synopsis
+        // that re-serializes differently.
+        let bytes = toy_structure().freeze().to_bytes();
+        let delta_offset = 4 + 2 + 1 + 8 + 8; // magic + version + tag + clip + ε
+        let forged = patch_and_restamp(&bytes, delta_offset, &(-0.0f64).to_bits().to_le_bytes());
+        let err = FrozenSynopsis::from_bytes(&forged).unwrap_err();
+        assert!(err.contains("delta"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn disconnected_cycle_is_rejected() {
+        // Hand-build the arrays for: childless root, plus nodes 1 ⇄ 2
+        // forming a cycle. Every non-root node has in-degree exactly one
+        // and edges = nodes − 1, so only the reachability check can catch
+        // it.
+        let good = toy_structure().freeze();
+        let cyclic = FrozenSynopsis {
+            counts: vec![1.0, 2.0, 3.0],
+            edge_start: vec![0, 0, 1, 2],
+            edge_label: vec![b'a', b'a'],
+            edge_target: vec![2, 1],
+            ..good
+        };
+        let err = FrozenSynopsis::from_bytes(&cyclic.to_bytes()).unwrap_err();
+        assert!(err.contains("unreachable"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn single_bit_flips_are_rejected() {
+        let bytes = toy_structure().freeze().to_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    FrozenSynopsis::from_bytes(&corrupt).is_err(),
+                    "bit {bit} of byte {pos} flipped silently"
+                );
+            }
+        }
+    }
+}

@@ -26,9 +26,21 @@ pub struct SuffixArray {
 
 impl SuffixArray {
     /// Builds the suffix array of a byte text in `O(n)` time.
+    ///
+    /// Specialized byte path: bytes always fit the `σ = 256` alphabet, so
+    /// this skips both the per-symbol alphabet check and the intermediate
+    /// `Vec<u32>` copy that routing through [`Self::from_ints`] would cost,
+    /// building the shifted SA-IS input directly.
     pub fn from_bytes(text: &[u8]) -> Self {
-        let ints: Vec<u32> = text.iter().map(|&b| b as u32).collect();
-        Self::from_ints(&ints, 256)
+        assert!(text.len() <= u32::MAX as usize - 2, "text too long for u32 indexing");
+        let n = text.len();
+        if n == 0 {
+            return Self { sa: Vec::new(), rank: Vec::new() };
+        }
+        let mut s: Vec<usize> = Vec::with_capacity(n + 1);
+        s.extend(text.iter().map(|&b| b as usize + 1));
+        s.push(0);
+        Self::from_shifted(&s, 257)
     }
 
     /// Builds the suffix array of an integer text whose symbols lie in
@@ -51,7 +63,14 @@ impl SuffixArray {
         let mut s: Vec<usize> = Vec::with_capacity(n + 1);
         s.extend(text.iter().map(|&c| c as usize + 1));
         s.push(0);
-        let sa_with_sentinel = sais(&s, sigma + 1);
+        Self::from_shifted(&s, sigma + 1)
+    }
+
+    /// Shared tail of the constructors: runs SA-IS on the already-shifted,
+    /// sentinel-terminated input `s` and strips the sentinel suffix.
+    fn from_shifted(s: &[usize], sigma: usize) -> Self {
+        let n = s.len() - 1;
+        let sa_with_sentinel = sais(s, sigma);
         // sa_with_sentinel[0] is the sentinel suffix (position n); drop it.
         debug_assert_eq!(sa_with_sentinel[0], n);
         let sa: Vec<u32> = sa_with_sentinel[1..].iter().map(|&i| i as u32).collect();
@@ -325,6 +344,31 @@ mod tests {
         let mut expected: Vec<u32> = (0..ints.len() as u32).collect();
         expected.sort_by(|&a, &b| ints[a as usize..].cmp(&ints[b as usize..]));
         assert_eq!(sa.sa(), expected.as_slice());
+    }
+
+    #[test]
+    fn byte_and_int_constructors_agree() {
+        // The specialized byte path must produce bit-identical output to
+        // routing the same text through the generic integer path.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64; // splitmix64
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for trial in 0..40 {
+            let len = (next() % 200) as usize;
+            // Mix narrow and full-byte alphabets across trials.
+            let sigma = if trial % 2 == 0 { 3 } else { 256 };
+            let text: Vec<u8> = (0..len).map(|_| (next() % sigma) as u8).collect();
+            let by_bytes = SuffixArray::from_bytes(&text);
+            let ints: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+            let by_ints = SuffixArray::from_ints(&ints, 256);
+            assert_eq!(by_bytes.sa(), by_ints.sa(), "trial {trial}, text={text:?}");
+            assert_eq!(by_bytes.rank(), by_ints.rank(), "trial {trial}");
+        }
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Serving a frozen synopsis: build once under the privacy budget, freeze
+//! into the flat index, ship the bytes, answer queries at speed.
+//!
+//! The construction is the only data-touching step; everything after
+//! `freeze()` — including the serialization round-trip and every query —
+//! is post-processing with zero additional privacy cost.
+//!
+//! Run with: `cargo run --release --example serve_queries`
+
+use std::time::Instant;
+
+use dp_substring_counting::prelude::*;
+use dp_substring_counting::workloads::markov_corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Times `f` over `iters` runs and returns queries per second.
+fn qps(iters: usize, queries_per_iter: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (iters * queries_per_iter) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // ---- Construction (the one private pass) ------------------------------
+    let mut rng = StdRng::seed_from_u64(7);
+    let corpus = markov_corpus(1000, 32, 8, 0.6, &mut rng);
+    let idx = CorpusIndex::build(&corpus);
+    println!(
+        "corpus: n = {} documents, ℓ = {}, |Σ| = {}",
+        corpus.n(),
+        corpus.max_len(),
+        corpus.alphabet().size(),
+    );
+    // Low thresholds at large ε give a deep synopsis; what we study here is
+    // serving cost, not privacy/utility trade-offs (see quickstart for those).
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e6), 0.1)
+        .with_thresholds(2.0, 2.0);
+    let t0 = Instant::now();
+    let structure = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
+    println!(
+        "built: {} trie nodes in {:.2?} (one-time, ε-DP)",
+        structure.node_count(),
+        t0.elapsed()
+    );
+
+    // ---- Freeze + ship ----------------------------------------------------
+    let t0 = Instant::now();
+    let frozen = structure.freeze();
+    println!("frozen: {} nodes flattened in {:.2?}", frozen.node_count(), t0.elapsed());
+    let bytes = frozen.to_bytes();
+    let served = FrozenSynopsis::from_bytes(&bytes).expect("shipped bytes parse");
+    println!(
+        "shipped: {} bytes on the wire, round-trips losslessly: {}",
+        bytes.len(),
+        served == frozen,
+    );
+
+    // ---- Query workload: hot substrings + absent probes -------------------
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+    for doc in corpus.documents().iter().take(500) {
+        let len = 4.min(doc.len());
+        patterns.push(doc[..len].to_vec());
+        if doc.len() >= 8 {
+            patterns.push(doc[2..8].to_vec());
+        }
+    }
+    for _ in 0..500 {
+        // Random patterns outside the alphabet: guaranteed absent.
+        let len = rng.gen_range(2..10usize);
+        patterns.push((0..len).map(|_| rng.gen_range(b'0'..=b'9')).collect());
+    }
+    let pattern_refs: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
+    println!("\nworkload: {} patterns (present + absent mix)", patterns.len());
+
+    // Correctness first: frozen must agree with the trie bit-for-bit.
+    for p in &pattern_refs {
+        assert_eq!(structure.query(p).to_bits(), served.query(p).to_bits());
+    }
+
+    // ---- Throughput -------------------------------------------------------
+    let iters = 200;
+    let nq = pattern_refs.len();
+    let trie_qps = qps(iters, nq, || {
+        for p in &pattern_refs {
+            std::hint::black_box(structure.query(p));
+        }
+    });
+    let single_qps = qps(iters, nq, || {
+        for p in &pattern_refs {
+            std::hint::black_box(served.query(p));
+        }
+    });
+    let batch_qps = qps(iters, nq, || {
+        std::hint::black_box(served.query_batch(&pattern_refs));
+    });
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let par_qps = qps(iters, nq, || {
+        std::hint::black_box(served.query_batch_parallel(&pattern_refs, threads));
+    });
+    println!("trie walk        : {trie_qps:>12.0} queries/s");
+    println!(
+        "frozen single    : {single_qps:>12.0} queries/s   ({:.2}× trie)",
+        single_qps / trie_qps
+    );
+    println!(
+        "frozen batch     : {batch_qps:>12.0} queries/s   ({:.2}× trie)",
+        batch_qps / trie_qps
+    );
+    println!(
+        "frozen parallel  : {par_qps:>12.0} queries/s   ({:.2}× trie, {threads} threads)",
+        par_qps / trie_qps
+    );
+}

@@ -40,6 +40,15 @@
 //!     Ok(structure) => {
 //!         // Query ad libitum — post-processing, no further privacy loss.
 //!         assert!(structure.query(b"ab").is_finite());
+//!
+//!         // Serving: freeze the trie into a flat immutable index (still
+//!         // post-processing) — allocation-free lookups, batch queries,
+//!         // and a compact binary wire format.
+//!         let frozen = structure.freeze();
+//!         let answers = frozen.query_batch(&[&b"ab"[..], b"be", b"zz"]);
+//!         assert_eq!(answers.len(), 3);
+//!         let shipped = FrozenSynopsis::from_bytes(&frozen.to_bytes()).unwrap();
+//!         assert_eq!(shipped, frozen);
 //!     }
 //!     Err(e) => println!("construction aborted (FAIL branch): {e}"),
 //! }
@@ -63,8 +72,8 @@ pub mod prelude {
     };
     pub use dpsc_private_count::{
         build_approx, build_pure, build_qgram_fast, build_qgram_pure, build_simple_trie,
-        evaluate_mining, BuildParams, CountMode, FastQgramParams, PrivateCountStructure,
-        QgramParams, SimpleTrieParams,
+        evaluate_mining, BuildParams, CountMode, FastQgramParams, FrozenSynopsis,
+        PrivateCountStructure, QgramParams, SimpleTrieParams,
     };
     pub use dpsc_strkit::alphabet::{Alphabet, Database};
     pub use dpsc_textindex::CorpusIndex;
