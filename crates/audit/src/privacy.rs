@@ -1,0 +1,241 @@
+//! Layer 1b: neighboring-database privacy distinguishers.
+//!
+//! A lightweight DP-Sniper-style check: run the *end-to-end* release twice
+//! per trial — once on `D`, once on a neighboring `D'` — and estimate the
+//! empirical privacy loss `sup_E |ln(Pr_D[E]/Pr_{D'}[E])|` over a family of
+//! threshold events on the released count, with the construction's FAIL
+//! branch as a first-class event (aborting *is* an output).
+//!
+//! No test can prove ε-DP; what this audit certifies is the absence of the
+//! classic catastrophic bugs (under-scaled sensitivity, budget
+//! double-spending, noise applied to the wrong quantity), which all show up
+//! as a *confident* empirical loss above the declared ε. The verdict uses a
+//! Wilson confidence lower bound on the loss, so sampling noise alone
+//! cannot fail a correct mechanism: `pass ⇔ ε̂_lcb ≤ ε`.
+
+use crate::stats::wilson_interval;
+
+/// One randomized execution of the mechanism under audit.
+#[derive(Debug, Clone, Copy)]
+pub struct ReleaseOutcome {
+    /// The construction took its FAIL branch (e.g. candidate overflow).
+    pub failed: bool,
+    /// The released scalar (ignored when `failed`).
+    pub value: f64,
+}
+
+impl ReleaseOutcome {
+    /// A successful release of `value`.
+    pub fn ok(value: f64) -> Self {
+        Self { failed: false, value }
+    }
+
+    /// The FAIL branch.
+    pub fn fail() -> Self {
+        Self { failed: true, value: f64::NAN }
+    }
+}
+
+/// Result of a distinguishing audit on one neighboring pair.
+#[derive(Debug, Clone)]
+pub struct PrivacyCheck {
+    /// Scenario label (workload / instance the pair came from).
+    pub label: String,
+    /// The ε the construction claims.
+    pub epsilon_claimed: f64,
+    /// Point estimate of the worst empirical loss over the event family
+    /// (add-one smoothed, so finite; biased toward 0 at rare events).
+    pub epsilon_hat: f64,
+    /// Wilson lower confidence bound on the loss: the audit is only
+    /// confident of a violation when this exceeds `epsilon_claimed`.
+    pub epsilon_lcb: f64,
+    /// Trials per database.
+    pub trials: usize,
+    /// Number of events in the tested family.
+    pub events: usize,
+    /// Description of the loss-maximizing event.
+    pub worst_event: String,
+    /// `epsilon_lcb ≤ epsilon_claimed`.
+    pub pass: bool,
+}
+
+/// Normal quantile for the Wilson bounds. 4.0 (≈ 3e-5 one-sided) leaves
+/// headroom for the ~40-event union over the threshold family, keeping the
+/// per-audit false-positive rate ≈ 1e-3 even with fresh seeds.
+const Z: f64 = 4.0;
+
+/// Number of threshold events carved from the pooled release values.
+const THRESHOLD_GRID: usize = 15;
+
+/// Runs `trials` executions of the mechanism on each database and returns
+/// the distinguishing verdict. `run_db`/`run_nb` must each perform one
+/// fresh randomized end-to-end execution.
+pub fn distinguish(
+    label: &str,
+    epsilon_claimed: f64,
+    trials: usize,
+    mut run_db: impl FnMut() -> ReleaseOutcome,
+    mut run_nb: impl FnMut() -> ReleaseOutcome,
+) -> PrivacyCheck {
+    assert!(trials >= 20, "too few trials to say anything");
+    let db: Vec<ReleaseOutcome> = (0..trials).map(|_| run_db()).collect();
+    let nb: Vec<ReleaseOutcome> = (0..trials).map(|_| run_nb()).collect();
+
+    // Event family: FAIL, plus {ok ∧ value ≥ t} for a quantile grid of t
+    // over the pooled successful values — and every complement, so one-sided
+    // probability collapses are caught from both ends.
+    let mut pooled: Vec<f64> =
+        db.iter().chain(&nb).filter(|o| !o.failed).map(|o| o.value).collect();
+    pooled.sort_by(f64::total_cmp);
+    let mut thresholds: Vec<f64> = (1..=THRESHOLD_GRID)
+        .filter_map(|i| pooled.get(i * pooled.len() / (THRESHOLD_GRID + 1)).copied())
+        .collect();
+    thresholds.dedup();
+
+    let mut epsilon_hat = 0.0f64;
+    let mut epsilon_lcb = 0.0f64;
+    let mut worst_event = String::from("none");
+    let mut events = 0usize;
+    let mut consider = |desc: String, hits_db: usize, hits_nb: usize| {
+        events += 1;
+        for (name, a, b) in [("D/D'", hits_db, hits_nb), ("D'/D", hits_nb, hits_db)] {
+            // Add-one smoothing for the point estimate (finite at 0 hits).
+            let sm_a = (a + 1) as f64 / (trials + 2) as f64;
+            let sm_b = (b + 1) as f64 / (trials + 2) as f64;
+            let hat = (sm_a / sm_b).ln();
+            // Confident loss: numerator pushed down, denominator pushed up.
+            let (a_lo, _) = wilson_interval(a, trials, Z);
+            let (_, b_hi) = wilson_interval(b, trials, Z);
+            let lcb = if a_lo > 0.0 { (a_lo / b_hi).ln() } else { 0.0 };
+            if hat > epsilon_hat {
+                epsilon_hat = hat;
+            }
+            if lcb > epsilon_lcb {
+                epsilon_lcb = lcb;
+                worst_event = format!("{desc} [{name}]");
+            }
+        }
+    };
+
+    let fails = |side: &[ReleaseOutcome]| side.iter().filter(|o| o.failed).count();
+    consider("FAIL".to_string(), fails(&db), fails(&nb));
+    consider("¬FAIL".to_string(), trials - fails(&db), trials - fails(&nb));
+    for &t in &thresholds {
+        let hits =
+            |side: &[ReleaseOutcome]| side.iter().filter(|o| !o.failed && o.value >= t).count();
+        let (h_db, h_nb) = (hits(&db), hits(&nb));
+        consider(format!("count ≥ {t:.3}"), h_db, h_nb);
+        consider(format!("FAIL ∨ count < {t:.3}"), trials - h_db, trials - h_nb);
+    }
+
+    PrivacyCheck {
+        label: label.to_string(),
+        epsilon_claimed,
+        epsilon_hat,
+        epsilon_lcb,
+        trials,
+        events,
+        worst_event,
+        pass: epsilon_lcb <= epsilon_claimed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpsc_dpcore::noise::Noise;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identical_distributions_pass() {
+        let noise = Noise::Laplace { b: 2.0 };
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let check = distinguish(
+            "identical",
+            0.5,
+            4000,
+            || ReleaseOutcome::ok(10.0 + noise.sample(&mut rng_a)),
+            || ReleaseOutcome::ok(10.0 + noise.sample(&mut rng_b)),
+        );
+        assert!(check.pass, "ε̂_lcb = {} on identical distributions", check.epsilon_lcb);
+        assert!(check.epsilon_lcb < 0.2);
+    }
+
+    #[test]
+    fn correctly_calibrated_laplace_passes() {
+        // Counts differ by the sensitivity; noise at b = Δ/ε ⇒ true loss ε.
+        let eps = 0.8;
+        let sens = 4.0;
+        let noise = Noise::laplace_for(eps, sens);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let check = distinguish(
+            "calibrated",
+            eps,
+            4000,
+            || ReleaseOutcome::ok(20.0 + noise.sample(&mut rng_a)),
+            || ReleaseOutcome::ok(20.0 - sens + noise.sample(&mut rng_b)),
+        );
+        assert!(check.pass, "ε̂_lcb = {} vs ε = {eps}", check.epsilon_lcb);
+    }
+
+    #[test]
+    fn exact_release_is_confidently_violated() {
+        let check =
+            distinguish("exact", 1.0, 400, || ReleaseOutcome::ok(32.0), || ReleaseOutcome::ok(0.0));
+        assert!(!check.pass, "exact release must fail the audit");
+        assert!(check.epsilon_lcb > 2.0, "ε̂_lcb = {}", check.epsilon_lcb);
+    }
+
+    #[test]
+    fn under_noised_release_is_confidently_violated() {
+        // Declared ε = 0.3 but noise calibrated 10× too small: true loss 3.
+        let eps = 0.3;
+        let sens = 10.0;
+        let noise = Noise::laplace_for(eps, sens / 10.0);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let check = distinguish(
+            "under-noised",
+            eps,
+            20_000,
+            || ReleaseOutcome::ok(sens + noise.sample(&mut rng_a)),
+            || ReleaseOutcome::ok(noise.sample(&mut rng_b)),
+        );
+        assert!(!check.pass, "10× under-noised mechanism must be caught");
+        assert!(check.epsilon_lcb > 2.0 * eps, "ε̂_lcb = {}", check.epsilon_lcb);
+    }
+
+    #[test]
+    fn fail_branch_leak_is_caught() {
+        // A mechanism whose FAIL probability depends sharply on the data
+        // leaks through the abort channel even if released values match.
+        let mut i = 0u64;
+        let mut j = 0u64;
+        let check = distinguish(
+            "fail-leak",
+            0.5,
+            1000,
+            move || {
+                i += 1;
+                if i.is_multiple_of(50) {
+                    ReleaseOutcome::fail()
+                } else {
+                    ReleaseOutcome::ok(1.0)
+                }
+            },
+            move || {
+                j += 1;
+                if j.is_multiple_of(2) {
+                    ReleaseOutcome::fail()
+                } else {
+                    ReleaseOutcome::ok(1.0)
+                }
+            },
+        );
+        assert!(!check.pass, "data-dependent FAIL rate must be caught");
+        assert!(check.worst_event.contains("FAIL"), "worst event: {}", check.worst_event);
+    }
+}

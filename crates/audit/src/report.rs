@@ -1,0 +1,226 @@
+//! Conformance report model and its JSON rendering.
+//!
+//! The scenario matrix flattens every audit into `CheckResult` rows grouped
+//! by scenario; the whole report serializes to a single JSON document
+//! (`results/audit_conformance.json`) that CI archives and the regression
+//! gate inspects. JSON is hand-rolled like `dpsc_bench::Table::to_json`
+//! (the build environment has no `serde`).
+
+use std::fmt::Write as _;
+
+/// One audited quantity with its bound and verdict.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Check identifier, e.g. `utility_max_error` or `ks_distance`.
+    pub name: String,
+    /// The observed statistic.
+    pub observed: f64,
+    /// The bound it is held against (conformance ⇔ observed within bound,
+    /// in the direction the check defines).
+    pub bound: f64,
+    /// Verdict.
+    pub pass: bool,
+    /// Free-form context (event description, trial counts, …).
+    pub detail: String,
+}
+
+impl CheckResult {
+    /// Convenience constructor.
+    pub fn new(name: &str, observed: f64, bound: f64, pass: bool, detail: String) -> Self {
+        Self { name: name.to_string(), observed, bound, pass, detail }
+    }
+}
+
+/// All checks for one point of the scenario matrix.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Workload name (`random`, `markov`, `dna`, `transit`) or audit group
+    /// (`noise`, `adversarial`).
+    pub workload: String,
+    /// Mechanism (`laplace` / `gaussian`).
+    pub mechanism: String,
+    /// Declared ε of the scenario.
+    pub epsilon: f64,
+    /// Pruning configuration (`off` / `analytic`) or `-` where not
+    /// applicable.
+    pub pruning: String,
+    /// The individual check verdicts.
+    pub checks: Vec<CheckResult>,
+}
+
+impl ScenarioResult {
+    /// Number of failed checks in this scenario.
+    pub fn violations(&self) -> usize {
+        self.checks.iter().filter(|c| !c.pass).count()
+    }
+}
+
+/// The complete conformance report for one matrix run.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// `fast` or `full`.
+    pub tier: String,
+    /// Base seed every audit derives its RNG streams from.
+    pub seed: u64,
+    /// All scenario results.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl ConformanceReport {
+    /// Total number of individual checks.
+    pub fn total_checks(&self) -> usize {
+        self.scenarios.iter().map(|s| s.checks.len()).sum()
+    }
+
+    /// Total number of failed checks.
+    pub fn violations(&self) -> usize {
+        self.scenarios.iter().map(ScenarioResult::violations).sum()
+    }
+
+    /// Whether the whole matrix conformed.
+    pub fn pass(&self) -> bool {
+        self.violations() == 0
+    }
+
+    /// Lines describing each failed check (empty when conformant).
+    pub fn violation_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.scenarios {
+            for c in s.checks.iter().filter(|c| !c.pass) {
+                out.push(format!(
+                    "{}/{} ε={} pruning={}: {} observed {:.4} vs bound {:.4} ({})",
+                    s.workload,
+                    s.mechanism,
+                    s.epsilon,
+                    s.pruning,
+                    c.name,
+                    c.observed,
+                    c.bound,
+                    c.detail
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders the report as pretty-printed JSON (RFC 8259 escaping).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"dpsc-audit-v1\",");
+        let _ = writeln!(out, "  \"tier\": {},", esc(&self.tier));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"total_checks\": {},", self.total_checks());
+        let _ = writeln!(out, "  \"violations\": {},", self.violations());
+        let _ = writeln!(out, "  \"pass\": {},", self.pass());
+        out.push_str("  \"scenarios\": [");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"workload\": {},", esc(&s.workload));
+            let _ = writeln!(out, "      \"mechanism\": {},", esc(&s.mechanism));
+            let _ = writeln!(out, "      \"epsilon\": {},", num(s.epsilon));
+            let _ = writeln!(out, "      \"pruning\": {},", esc(&s.pruning));
+            out.push_str("      \"checks\": [");
+            for (j, c) in s.checks.iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                let _ = write!(
+                    out,
+                    "        {{\"name\": {}, \"observed\": {}, \"bound\": {}, \"pass\": {}, \"detail\": {}}}",
+                    esc(&c.name),
+                    num(c.observed),
+                    num(c.bound),
+                    c.pass,
+                    esc(&c.detail)
+                );
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping per RFC 8259.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number rendering: finite floats as-is, non-finite as null (JSON has
+/// no NaN/Inf).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_report() -> ConformanceReport {
+        ConformanceReport {
+            tier: "fast".to_string(),
+            seed: 42,
+            scenarios: vec![ScenarioResult {
+                workload: "markov".to_string(),
+                mechanism: "laplace".to_string(),
+                epsilon: 1.0,
+                pruning: "off".to_string(),
+                checks: vec![
+                    CheckResult::new("utility_max_error", 10.0, 20.0, true, "3 trials".into()),
+                    CheckResult::new("ks \"quoted\"", f64::NAN, 0.01, false, "line\nbreak".into()),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn counting_and_verdicts() {
+        let r = toy_report();
+        assert_eq!(r.total_checks(), 2);
+        assert_eq!(r.violations(), 1);
+        assert!(!r.pass());
+        assert_eq!(r.violation_lines().len(), 1);
+        assert!(r.violation_lines()[0].contains("ks"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let j = toy_report().to_json();
+        assert!(j.contains("\"schema\": \"dpsc-audit-v1\""));
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\\\"quoted\\\""), "quotes escaped");
+        assert!(j.contains("line\\nbreak"), "newlines escaped");
+        assert!(j.contains("\"observed\": null"), "NaN becomes null");
+        // Balanced braces/brackets (cheap well-formedness proxy; the full
+        // parse is exercised by the python check in CI).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = ConformanceReport { tier: "fast".into(), seed: 1, scenarios: vec![] };
+        assert!(r.pass());
+        assert!(r.to_json().contains("\"scenarios\": [\n  ]"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Statistical primitives for the conformance audits: closed-form CDFs,
+//! the Kolmogorov–Smirnov statistic, and binomial confidence bounds.
+//!
+//! Everything here is deterministic pure math; all randomness lives in the
+//! callers (which draw from seeded RNGs so audit verdicts are reproducible).
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (max absolute error ≈ 1.5e-7 — far below every threshold the audits
+/// compare against).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// CDF of the centered Laplace distribution with scale `b`.
+pub fn laplace_cdf(b: f64, x: f64) -> f64 {
+    assert!(b > 0.0);
+    if x < 0.0 {
+        0.5 * (x / b).exp()
+    } else {
+        1.0 - 0.5 * (-x / b).exp()
+    }
+}
+
+/// CDF of the centered Gaussian with standard deviation `sigma`.
+pub fn gaussian_cdf(sigma: f64, x: f64) -> f64 {
+    assert!(sigma > 0.0);
+    std_normal_cdf(x / sigma)
+}
+
+/// Two-sided Kolmogorov–Smirnov statistic `D_n = sup_x |F_n(x) − F(x)|`
+/// of `samples` against the model CDF. Sorts the slice in place.
+pub fn ks_statistic(samples: &mut [f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = cdf(x);
+        // F_n jumps from i/n to (i+1)/n at x; both gaps bound D_n.
+        d = d.max(f - i as f64 / n).max((i as f64 + 1.0) / n - f);
+    }
+    d
+}
+
+/// Critical value for the one-sample KS test at significance `alpha`
+/// (asymptotic DKW-style bound): reject iff `D_n > sqrt(ln(2/α)/(2n))`.
+///
+/// The bound is exact-conservative for every `n` (Massart's constant-free
+/// DKW inequality), so the false-positive rate is ≤ `alpha` even at the
+/// modest sample sizes the fast tier uses.
+pub fn ks_critical(n: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && alpha > 0.0 && alpha < 1.0);
+    ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Wilson score interval for a binomial proportion: returns `(lo, hi)`
+/// bounds for the true success probability given `hits` out of `n` at
+/// normal quantile `z` (e.g. `z = 3.29` for ~99.9% two-sided coverage).
+pub fn wilson_interval(hits: usize, n: usize, z: f64) -> (f64, f64) {
+    assert!(n > 0 && hits <= n);
+    let nf = n as f64;
+    let p = hits as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = p + z2 / (2.0 * nf);
+    let margin = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    (((center - margin) / denom).max(0.0), ((center + margin) / denom).min(1.0))
+}
+
+/// Mean and (population) variance of a sample.
+pub fn mean_var(samples: &[f64]) -> (f64, f64) {
+    assert!(!samples.is_empty());
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0) = 0, erf(1) ≈ 0.8427008, erf(2) ≈ 0.9953223, odd symmetry.
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_3).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_normalized() {
+        for cdf in [
+            Box::new(|x| laplace_cdf(2.0, x)) as Box<dyn Fn(f64) -> f64>,
+            Box::new(|x| gaussian_cdf(2.0, x)),
+        ] {
+            assert!((cdf(0.0) - 0.5).abs() < 1e-9, "centered distributions have median 0");
+            let mut prev = 0.0;
+            for i in -40..=40 {
+                let v = cdf(i as f64 * 0.5);
+                assert!(v >= prev && (0.0..=1.0).contains(&v));
+                prev = v;
+            }
+            assert!(cdf(-30.0) < 1e-6 && cdf(30.0) > 1.0 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn ks_statistic_detects_wrong_model() {
+        // Uniform grid on [0,1] against its own CDF: D_n = 1/(2n) + grid
+        // offset ≈ tiny. Against a shifted CDF: large.
+        let mut samples: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let d_good = ks_statistic(&mut samples, |x| x.clamp(0.0, 1.0));
+        assert!(d_good < 0.001, "D = {d_good}");
+        let d_bad = ks_statistic(&mut samples, |x| (x * x).clamp(0.0, 1.0));
+        assert!(d_bad > 0.2, "D = {d_bad}");
+    }
+
+    #[test]
+    fn ks_critical_shrinks_with_n() {
+        assert!(ks_critical(10_000, 0.001) < ks_critical(100, 0.001));
+        // n = 50_000, α = 1e-3: sqrt(ln(2000)/1e5) ≈ 0.0087.
+        assert!((ks_critical(50_000, 0.001) - 0.0087).abs() < 3e-4);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_truth() {
+        let (lo, hi) = wilson_interval(500, 1000, 3.29);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.12);
+        // Degenerate corners stay in [0,1].
+        let (lo0, _) = wilson_interval(0, 100, 3.29);
+        let (_, hi1) = wilson_interval(100, 100, 3.29);
+        assert_eq!(lo0, 0.0);
+        assert_eq!(hi1, 1.0);
+    }
+
+    #[test]
+    fn mean_var_basics() {
+        let (m, v) = mean_var(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(v, 1.0);
+    }
+}

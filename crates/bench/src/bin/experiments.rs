@@ -37,6 +37,9 @@ fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("serving_throughput", "Serving: trie walk vs frozen synopsis", || {
             vec![exps::serving::serving_throughput()]
         }),
+        ("audit", "Statistical DP/utility conformance matrix", || {
+            vec![exps::audit::audit_conformance()]
+        }),
     ]
 }
 

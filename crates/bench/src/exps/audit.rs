@@ -1,0 +1,54 @@
+//! Experiment `audit`: the statistical DP/utility conformance matrix.
+//!
+//! Runs [`dpsc_audit::run_matrix`] at the tier selected by
+//! `DPSC_AUDIT_FULL` (unset/other ⇒ fast, `1` ⇒ full), writes the raw
+//! conformance report to `results/audit_conformance.json`, and returns a
+//! summary table (one row per scenario group) for EXPERIMENTS.md.
+
+use dpsc_audit::{run_matrix, AuditConfig};
+
+use crate::Table;
+
+/// Where the raw conformance report is written.
+pub const CONFORMANCE_PATH: &str = "results/audit_conformance.json";
+
+/// Runs the matrix, persists the JSON report, and tabulates the verdicts.
+pub fn audit_conformance() -> Table {
+    let cfg = AuditConfig::from_env();
+    let report = run_matrix(&cfg);
+    std::fs::create_dir_all("results").ok();
+    if let Err(e) = std::fs::write(CONFORMANCE_PATH, report.to_json()) {
+        eprintln!("[audit] failed writing {CONFORMANCE_PATH}: {e}");
+    }
+
+    // NB: the table id must differ from CONFORMANCE_PATH's stem — the
+    // experiments binary writes every table to results/<id>.json and would
+    // otherwise overwrite the raw report.
+    let mut t = Table::new(
+        "audit",
+        "Statistical conformance: noise goodness-of-fit, end-to-end privacy distinguishers, utility vs theorem bounds ({workload × ε × mechanism × pruning})",
+        &["scenario", "mechanism", "ε", "pruning", "checks", "violations"],
+    );
+    for s in &report.scenarios {
+        t.row(vec![
+            s.workload.clone(),
+            s.mechanism.clone(),
+            format!("{}", s.epsilon),
+            s.pruning.clone(),
+            s.checks.len().to_string(),
+            s.violations().to_string(),
+        ]);
+    }
+    t.note(format!(
+        "tier = {}, seed = {}: {} checks, {} violations ⇒ {}. Raw report: {CONFORMANCE_PATH}.",
+        report.tier,
+        report.seed,
+        report.total_checks(),
+        report.violations(),
+        if report.pass() { "CONFORMANT" } else { "NON-CONFORMANT" },
+    ));
+    for line in report.violation_lines() {
+        t.note(format!("VIOLATION: {line}"));
+    }
+    t
+}

@@ -3,6 +3,7 @@
 //! Each experiment returns [`crate::Table`]s; the `experiments` binary
 //! renders them to stdout and into `results/*.json` / EXPERIMENTS.md.
 
+pub mod audit;
 pub mod common;
 pub mod lower;
 pub mod mining;

@@ -8,9 +8,11 @@
 //!   stand-in for natural-language likelihood structure (frequent patterns
 //!   exist at every length).
 //! * [`dna_corpus`] — `|Σ| = 4` genome-like documents with *planted motifs*
-//!   occurring at controlled document frequencies; ground truth for mining
-//!   utility experiments (the genome-publishing application \[50\] of the
-//!   paper).
+//!   occurring at exactly controlled document frequencies (each motif is
+//!   planted into exactly `round(freq·n)` documents at non-overlapping
+//!   offsets); exact ground truth for mining utility experiments and the
+//!   `dpsc-audit` recall conformance checks (the genome-publishing
+//!   application \[50\] of the paper).
 //! * [`transit_corpus`] — event sequences over a station alphabet where a
 //!   few popular routes dominate (the transit-data application \[19\]).
 //!
@@ -65,14 +67,22 @@ pub fn markov_corpus<R: Rng + ?Sized>(
 pub struct DnaCorpus {
     /// The database (alphabet `{A,C,G,T}` encoded as bytes `0..4`).
     pub db: Database,
-    /// The planted motifs with their intended document frequencies
-    /// (fraction of documents containing the motif).
+    /// The planted motifs with their requested document frequencies. Each
+    /// motif was planted into exactly `round(freq·n)` distinct documents
+    /// (the observed frequency can only exceed that through background
+    /// collisions, which are negligible for the motif lengths the
+    /// experiments use).
     pub motifs: Vec<(Vec<u8>, f64)>,
 }
 
-/// Generates `n` DNA reads of length `ell` and plants each motif (of length
-/// `motif_len`) into a `frequencies[i]` fraction of documents at a random
-/// offset.
+/// Generates `n` DNA reads of length `ell` and plants each motif (of
+/// length `motif_len`) into **exactly** `round(frequencies[i]·n)` distinct
+/// documents, chosen by a seeded partial shuffle, at offsets that do not
+/// overlap previously planted motifs — so the planted document counts are
+/// exact ground truth, not binomial samples.
+///
+/// Requires `frequencies.len() · motif_len ≤ ell` so every document can
+/// host all motifs disjointly.
 pub fn dna_corpus<R: Rng + ?Sized>(
     n: usize,
     ell: usize,
@@ -81,6 +91,9 @@ pub fn dna_corpus<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> DnaCorpus {
     assert!(motif_len <= ell, "motif longer than documents");
+    assert!(motif_len >= 1, "motif must be non-empty");
+    assert!(frequencies.len() * motif_len <= ell, "motifs must fit disjointly into one document");
+    assert!(frequencies.iter().all(|f| (0.0..=1.0).contains(f)), "frequencies must be in [0,1]");
     let alphabet = Alphabet::dna();
     let motifs: Vec<Vec<u8>> = frequencies
         .iter()
@@ -88,12 +101,30 @@ pub fn dna_corpus<R: Rng + ?Sized>(
         .collect();
     let mut docs: Vec<Vec<u8>> =
         (0..n).map(|_| (0..ell).map(|_| rng.gen_range(0..4u8)).collect()).collect();
+    // Plantings go into motif_len-aligned slots after a random per-document
+    // phase: the fit assertion guarantees at least `frequencies.len()` free
+    // slots per document, so later motifs never clobber earlier plantings
+    // (which would silently lower an earlier motif's frequency) and never
+    // fail to place. The phase varies the absolute offsets across docs.
+    let max_phase = ell - frequencies.len() * motif_len;
+    let mut phase: Vec<Option<usize>> = vec![None; n];
+    let mut used_slots: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (motif, &freq) in motifs.iter().zip(frequencies) {
-        for doc in docs.iter_mut() {
-            if rng.gen::<f64>() < freq {
-                let off = rng.gen_range(0..=ell - motif_len);
-                doc[off..off + motif_len].copy_from_slice(motif);
-            }
+        let k = ((freq * n as f64).round() as usize).min(n);
+        // Partial Fisher–Yates: the first k entries are a uniform k-subset.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            order.swap(i, j);
+        }
+        for &d in &order[..k] {
+            let p = *phase[d].get_or_insert_with(|| rng.gen_range(0..=max_phase));
+            let n_slots = (ell - p) / motif_len;
+            let free: Vec<usize> = (0..n_slots).filter(|s| !used_slots[d].contains(s)).collect();
+            let slot = free[rng.gen_range(0..free.len())];
+            used_slots[d].push(slot);
+            let off = p + slot * motif_len;
+            docs[d][off..off + motif_len].copy_from_slice(motif);
         }
     }
     let db = Database::new(alphabet, ell, docs).expect("generated documents are valid");
@@ -172,6 +203,31 @@ mod tests {
     }
 
     #[test]
+    fn all_generators_are_byte_identical_given_seed() {
+        // Same seed ⇒ byte-identical corpus for every generator (and
+        // identical planted ground truth); a different seed must differ.
+        let rand = |s: u64| random_corpus(8, 12, 4, &mut StdRng::seed_from_u64(s));
+        assert_eq!(rand(41).documents(), rand(41).documents());
+        assert_ne!(rand(41).documents(), rand(42).documents());
+
+        let markov = |s: u64| markov_corpus(8, 12, 4, 0.6, &mut StdRng::seed_from_u64(s));
+        assert_eq!(markov(41).documents(), markov(41).documents());
+        assert_ne!(markov(41).documents(), markov(42).documents());
+
+        let dna = |s: u64| dna_corpus(16, 20, 6, &[0.5, 0.25], &mut StdRng::seed_from_u64(s));
+        let (d1, d2, d3) = (dna(41), dna(41), dna(42));
+        assert_eq!(d1.db.documents(), d2.db.documents());
+        assert_eq!(d1.motifs, d2.motifs);
+        assert_ne!(d1.db.documents(), d3.db.documents());
+
+        let transit = |s: u64| transit_corpus(16, 20, 10, 2, 4, 0.5, &mut StdRng::seed_from_u64(s));
+        let (t1, t2, t3) = (transit(41), transit(41), transit(42));
+        assert_eq!(t1.db.documents(), t2.db.documents());
+        assert_eq!(t1.routes, t2.routes);
+        assert_ne!(t1.db.documents(), t3.db.documents());
+    }
+
+    #[test]
     fn markov_skew_creates_frequent_bigrams() {
         let mut rng = StdRng::seed_from_u64(2);
         let db = markov_corpus(20, 100, 4, 0.9, &mut rng);
@@ -195,6 +251,46 @@ mod tests {
         // Random 8-mers almost never collide with background at these sizes.
         assert!(freq(m0) > 0.7, "motif 0 frequency {}", freq(m0));
         assert!(freq(m1) < 0.25, "motif 1 frequency {}", freq(m1));
+    }
+
+    #[test]
+    fn dna_planted_frequencies_are_exact() {
+        // With 16-mers the background collision probability is ≈ 4^-16 per
+        // position — zero at these sizes — so the document count of each
+        // motif equals exactly round(freq·n). This exactness is what the
+        // audit crate's recall conformance checks treat as ground truth.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 160;
+        let freqs = [0.8, 0.25, 0.0];
+        let corpus = dna_corpus(n, 50, 16, &freqs, &mut rng);
+        for (i, (motif, f)) in corpus.motifs.iter().enumerate() {
+            let docs_with =
+                corpus.db.documents().iter().filter(|d| naive_contains(motif, d)).count();
+            let expect = (f * n as f64).round() as usize;
+            assert_eq!(docs_with, expect, "motif {i} planted count");
+        }
+        // Frequency 1.0 plants into every document.
+        let all = dna_corpus(40, 40, 16, &[1.0], &mut StdRng::seed_from_u64(6));
+        let (motif, _) = &all.motifs[0];
+        assert!(all.db.documents().iter().all(|d| naive_contains(motif, d)));
+    }
+
+    #[test]
+    fn dna_multiple_motifs_do_not_clobber_each_other() {
+        // Three motifs at frequency 1.0 must coexist disjointly in every
+        // document — the non-overlapping placement is what preserves
+        // exactness for earlier motifs.
+        let corpus = dna_corpus(30, 36, 10, &[1.0, 1.0, 1.0], &mut StdRng::seed_from_u64(7));
+        for (motif, _) in &corpus.motifs {
+            let hit = corpus.db.documents().iter().filter(|d| naive_contains(motif, d)).count();
+            assert_eq!(hit, 30, "motif {motif:?} lost occurrences to a later planting");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dna_rejects_motifs_that_cannot_fit_disjointly() {
+        let _ = dna_corpus(4, 10, 6, &[0.5, 0.5], &mut StdRng::seed_from_u64(8));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`private_count`] | Theorems 1–4 data structures, mining, prior-work baseline |
 //! | [`lowerbounds`] | Theorems 5–7 instances and distinguishing attacks |
 //! | [`workloads`] | synthetic corpus generators |
+//! | [`audit`] | statistical conformance harness: sampler goodness-of-fit, end-to-end privacy distinguishers, utility-vs-theorem-bound scenario matrix |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 //! }
 //! ```
 
+pub use dpsc_audit as audit;
 pub use dpsc_dpcore as dpcore;
 pub use dpsc_hierarchy as hierarchy;
 pub use dpsc_lowerbounds as lowerbounds;
@@ -64,7 +66,8 @@ pub use dpsc_workloads as workloads;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use dpsc_dpcore::budget::PrivacyParams;
+    pub use dpsc_audit::{run_matrix, AuditConfig, ConformanceReport};
+    pub use dpsc_dpcore::budget::{BudgetAccountant, PrivacyParams};
     pub use dpsc_dpcore::noise::Noise;
     pub use dpsc_hierarchy::{
         private_tree_counts_approx, private_tree_counts_pure, ColoredUniverse, Tree,

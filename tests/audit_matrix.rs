@@ -1,0 +1,103 @@
+//! The executable conformance contract: the fast-tier scenario matrix must
+//! run clean (zero violations) inside the tier-1 test budget, cover every
+//! axis {workload × ε × mechanism × pruning}, and be byte-for-byte
+//! deterministic in its seed — so any future pipeline refactor that breaks
+//! a guarantee (noise calibration, sensitivity, α accounting, pruning
+//! bound) turns into a red test naming the violated check.
+
+mod common;
+
+use dp_substring_counting::audit::{Tier, WORKLOADS};
+use dp_substring_counting::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn fast_matrix_is_conformant_and_covers_every_axis() {
+    let report = run_matrix(&AuditConfig::fast());
+    assert_eq!(
+        report.violations(),
+        0,
+        "conformance violations:\n{}",
+        report.violation_lines().join("\n")
+    );
+    assert!(report.pass());
+
+    // Axis coverage: all four workloads × both mechanisms × ≥ 2 ε values ×
+    // both pruning configs, plus the distribution and adversarial groups.
+    for wl in WORKLOADS {
+        for mech in ["laplace", "gaussian"] {
+            let eps: std::collections::BTreeSet<String> = report
+                .scenarios
+                .iter()
+                .filter(|s| s.workload == wl && s.mechanism == mech && s.pruning != "mining")
+                .map(|s| format!("{}", s.epsilon))
+                .collect();
+            assert!(eps.len() >= 2, "{wl}/{mech}: swept ε values {eps:?}");
+            for pruning in ["off", "analytic"] {
+                assert!(
+                    report
+                        .scenarios
+                        .iter()
+                        .any(|s| s.workload == wl && s.mechanism == mech && s.pruning == pruning),
+                    "{wl}/{mech}/{pruning} missing from the matrix"
+                );
+            }
+        }
+    }
+    for group in ["noise", "adversarial-t6", "adversarial-markov"] {
+        assert!(
+            report.scenarios.iter().any(|s| s.workload == group),
+            "audit group {group} missing"
+        );
+    }
+    assert!(report.total_checks() >= 100, "only {} checks ran", report.total_checks());
+}
+
+#[test]
+fn matrix_report_is_seed_deterministic() {
+    // A trimmed single-ε config keeps the double run cheap; determinism is
+    // a property of the seed plumbing, not of the sweep width.
+    let cfg = AuditConfig { tier: Tier::Fast, seed: 77, epsilons: vec![1.0] };
+    let a = run_matrix(&cfg);
+    let b = run_matrix(&cfg);
+    assert_eq!(a.to_json(), b.to_json(), "same seed must give byte-identical reports");
+
+    let c = run_matrix(&AuditConfig { seed: 78, ..cfg });
+    assert_ne!(
+        a.to_json(),
+        c.to_json(),
+        "a different seed must actually change the sampled statistics"
+    );
+}
+
+#[test]
+fn audited_structure_builds_under_retry_and_serves() {
+    // The retry helper in action on a real mixed-regime build: ε = 60 on
+    // the paper's toy database FAILs for roughly half the seeds
+    // (legitimately); the helper must find a succeeding one and never let
+    // the check go vacuous.
+    let db = Database::paper_example();
+    let idx = CorpusIndex::build(&db);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(60.0), 0.2)
+        .with_thresholds(1.5, 1.5);
+    let structure = common::with_retry_seeds(1, 16, |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        build_pure(&idx, &params, &mut rng).ok()
+    });
+    // Whatever survived is a valid release: finite counts within the
+    // published error budget of the exact count.
+    let alpha = structure.alpha_counts();
+    assert!(alpha.is_finite() && alpha > 0.0);
+    for node_pat in [&b"a"[..], b"ab", b"b"] {
+        let got = structure.query(node_pat);
+        assert!(got.is_finite());
+        if structure.contains(node_pat) {
+            let exact = idx.count_clipped(node_pat, db.max_len()) as f64;
+            assert!(
+                (got - exact).abs() <= alpha,
+                "{node_pat:?}: {got} vs exact {exact} (α = {alpha})"
+            );
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Root-suite coverage for `dpcore::budget`: the composition accounting
+//! that every pipeline's privacy argument leans on. These run through the
+//! facade (like an application would) and pin down the invariants the
+//! paper's Lemma 1 usage needs: split/compose round-trips, ε > 0
+//! validation, and exhaustion behavior of the runtime accountant.
+
+use dp_substring_counting::dpcore::budget::BudgetExceeded;
+use dp_substring_counting::prelude::*;
+
+#[test]
+fn split_fraction_compose_identities() {
+    let p = PrivacyParams::approx(2.0, 1e-5);
+    // split_even(k) composed k times recovers the whole budget.
+    for k in [1usize, 2, 3, 7, 64] {
+        let part = p.split_even(k);
+        assert!((part.epsilon - 2.0 / k as f64).abs() < 1e-15);
+        let mut total = part;
+        for _ in 1..k {
+            total = total.compose(&part);
+        }
+        assert!((total.epsilon - p.epsilon).abs() < 1e-9, "k={k}");
+        assert!((total.delta - p.delta).abs() < 1e-15, "k={k}");
+    }
+    // fraction(a).compose(fraction(1−a)) also recovers it.
+    let a = p.fraction(0.3).compose(&p.fraction(0.7));
+    assert!((a.epsilon - p.epsilon).abs() < 1e-12);
+    assert!((a.delta - p.delta).abs() < 1e-18);
+    // Pure budgets stay pure under splitting.
+    assert!(PrivacyParams::pure(1.0).split_even(5).is_pure());
+    assert!(!p.split_even(5).is_pure());
+}
+
+#[test]
+fn compose_adds_both_coordinates() {
+    let a = PrivacyParams::approx(0.5, 1e-7);
+    let b = PrivacyParams::pure(0.25);
+    let c = a.compose(&b);
+    assert!((c.epsilon - 0.75).abs() < 1e-15);
+    assert!((c.delta - 1e-7).abs() < 1e-21);
+}
+
+#[test]
+fn non_positive_epsilon_is_rejected() {
+    for bad in [0.0, -1.0, -1e-12] {
+        assert!(
+            std::panic::catch_unwind(|| PrivacyParams::pure(bad)).is_err(),
+            "pure({bad}) must be rejected"
+        );
+        assert!(
+            std::panic::catch_unwind(|| PrivacyParams::approx(bad, 1e-6)).is_err(),
+            "approx({bad}, δ) must be rejected"
+        );
+    }
+    // δ outside [0, 1) is rejected too.
+    assert!(std::panic::catch_unwind(|| PrivacyParams::approx(1.0, 1.0)).is_err());
+    assert!(std::panic::catch_unwind(|| PrivacyParams::approx(1.0, -1e-9)).is_err());
+    // Degenerate splits/fractions.
+    assert!(std::panic::catch_unwind(|| PrivacyParams::pure(1.0).split_even(0)).is_err());
+    assert!(std::panic::catch_unwind(|| PrivacyParams::pure(1.0).fraction(0.0)).is_err());
+    assert!(std::panic::catch_unwind(|| PrivacyParams::pure(1.0).fraction(1.5)).is_err());
+}
+
+#[test]
+fn accountant_exhaustion_and_error_contents() {
+    let budget = PrivacyParams::approx(1.0, 1e-6);
+    let mut acc = BudgetAccountant::new(budget);
+    assert_eq!(acc.budget(), budget);
+    assert_eq!(acc.spent().epsilon, 0.0);
+
+    // Spend in thirds: three fit, the fourth overdraws.
+    let third = budget.split_even(3);
+    for i in 0..3 {
+        assert!(acc.charge(third).is_ok(), "charge {i}");
+    }
+    let err: BudgetExceeded = acc.charge(third).expect_err("fourth third overdraws");
+    assert!(err.would_be_epsilon > budget.epsilon);
+    assert_eq!(err.budget, budget);
+    // The failed charge must not have been recorded.
+    assert!((acc.spent().epsilon - 1.0).abs() < 1e-9);
+    assert!((acc.spent().delta - 1e-6).abs() < 1e-18);
+    // And the accountant still rejects further spending (no reset).
+    assert!(acc.charge(PrivacyParams::approx(0.1, 1e-8)).is_err());
+    // The error is a real std error with a readable message.
+    let msg = format!("{err}");
+    assert!(msg.contains("budget exceeded"), "message: {msg}");
+}
+
+#[test]
+fn accountant_tolerates_float_dust_but_not_real_overdraft() {
+    // 10 × ε/10 must fit despite accumulated rounding…
+    let mut acc = BudgetAccountant::new(PrivacyParams::pure(1.0));
+    let tenth = PrivacyParams::pure(1.0).split_even(10);
+    for i in 0..10 {
+        assert!(acc.charge(tenth).is_ok(), "charge {i} of 10");
+    }
+    // …but any macroscopic extra is rejected.
+    assert!(acc.charge(PrivacyParams::pure(1e-6)).is_err());
+}
+
+#[test]
+fn delta_overdraft_on_pure_budget_is_rejected() {
+    // A pure-DP budget admits no δ at all: the first approx charge fails
+    // and δ-spend stays zero.
+    let mut acc = BudgetAccountant::new(PrivacyParams::pure(1.0));
+    assert!(acc.charge(PrivacyParams::approx(0.1, 1e-12)).is_err());
+    assert_eq!(acc.spent().delta, 0.0);
+    assert!(acc.charge(PrivacyParams::pure(0.1)).is_ok());
+}

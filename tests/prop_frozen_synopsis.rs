@@ -5,6 +5,8 @@
 //! patterns, and through the binary codec — for both the Laplace
 //! (Theorem 1) and Gaussian (Theorem 2) constructions.
 
+mod common;
+
 use dp_substring_counting::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -103,30 +105,32 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     // ε ≥ 1e3 keeps the (still real, still per-node) noise below the demo
-    // thresholds so construction reliably succeeds on these tiny corpora;
-    // the rare FAIL branch is skipped, and the deterministic tests below
-    // guarantee the harness is never vacuous.
+    // thresholds so construction usually succeeds on these tiny corpora;
+    // `with_retry_seeds` retries the FAIL branch (a legitimate mechanism
+    // output) on derived seeds and panics if *every* attempt fails, so no
+    // case can silently skip — the harness is structurally non-vacuous.
 
     #[test]
     fn frozen_matches_trie_laplace(docs in small_docs(), eps_scale in 0u32..4, seed in 0u64..1 << 40) {
         let epsilon = [1e3, 1e4, 1e5, 1e6][eps_scale as usize];
-        if let Some((structure, docs)) = build(docs, epsilon, false, seed) {
-            check_agreement(&structure, &docs, seed);
-        }
+        let (structure, docs) =
+            common::with_retry_seeds(seed, 6, |s| build(docs.clone(), epsilon, false, s));
+        check_agreement(&structure, &docs, seed);
     }
 
     #[test]
     fn frozen_matches_trie_gaussian(docs in small_docs(), eps_scale in 0u32..4, seed in 0u64..1 << 40) {
         let epsilon = [1e3, 1e4, 1e5, 1e6][eps_scale as usize];
-        if let Some((structure, docs)) = build(docs, epsilon, true, seed) {
-            check_agreement(&structure, &docs, seed);
-        }
+        let (structure, docs) =
+            common::with_retry_seeds(seed, 6, |s| build(docs.clone(), epsilon, true, s));
+        check_agreement(&structure, &docs, seed);
     }
 }
 
-/// Deterministic anchor: on a fixed corpus, construction must succeed in
-/// both noise modes and the frozen synopsis must agree everywhere — so the
-/// property tests above cannot silently degenerate into all-skips.
+/// Deterministic anchor: on a fixed corpus, construction must succeed
+/// (within the retry budget) in both noise modes and the frozen synopsis
+/// must agree everywhere — a belt-and-suspenders floor under the property
+/// tests above.
 #[test]
 fn fixed_corpus_agrees_in_both_modes() {
     let docs: Vec<Vec<u8>> = ["abcabc", "abca", "cabb", "aab", "bcbc", "ccca"]
@@ -135,7 +139,7 @@ fn fixed_corpus_agrees_in_both_modes() {
         .collect();
     for gaussian in [false, true] {
         let (structure, docs) =
-            build(docs.clone(), 1e4, gaussian, 7).expect("fixed-corpus construction succeeds");
+            common::with_retry_seeds(7, 4, |s| build(docs.clone(), 1e4, gaussian, s));
         assert!(structure.node_count() > 1, "non-trivial trie (gaussian={gaussian})");
         check_agreement(&structure, &docs, 7);
     }
