@@ -114,13 +114,10 @@ fn knobs(tier: Tier) -> Knobs {
     }
 }
 
-/// SplitMix64 finalizer: turns (base seed, scenario counter) into an
-/// independent-looking stream seed, deterministically.
+/// Turns (base seed, scenario counter) into an independent-looking stream
+/// seed, deterministically — the workspace-wide SplitMix64 derivation.
 fn derive_seed(base: u64, counter: u64) -> u64 {
-    let mut z = base ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    dpsc_dpcore::stream::derive_stream(base, counter)
 }
 
 /// Builds the corpus for one workload at the tier's size, plus the clip

@@ -40,6 +40,9 @@ fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("audit", "Statistical DP/utility conformance matrix", || {
             vec![exps::audit::audit_conformance()]
         }),
+        ("build_throughput", "Build pipeline: phase timings × threads (BENCH_build.json)", || {
+            vec![exps::build::build_throughput()]
+        }),
     ]
 }
 

@@ -4,6 +4,7 @@
 //! renders them to stdout and into `results/*.json` / EXPERIMENTS.md.
 
 pub mod audit;
+pub mod build;
 pub mod common;
 pub mod lower;
 pub mod mining;

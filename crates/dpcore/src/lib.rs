@@ -23,8 +23,10 @@
 pub mod budget;
 pub mod mechanism;
 pub mod noise;
+pub mod stream;
 pub mod tree_mechanism;
 
 pub use budget::{BudgetAccountant, BudgetExceeded, PrivacyParams};
 pub use noise::Noise;
+pub use stream::derive_stream;
 pub use tree_mechanism::BinaryTreeMechanism;

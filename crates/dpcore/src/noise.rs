@@ -58,6 +58,52 @@ impl Noise {
         }
     }
 
+    /// Fills `out` with independent samples.
+    ///
+    /// Semantically `for x in out { *x = self.sample(rng) }`, but batched:
+    /// the calibration checks run once per call instead of once per draw,
+    /// and the Gaussian path uses both Box–Muller coordinates (sine and
+    /// cosine), halving the uniform draws and transcendental evaluations.
+    /// The stream differs from repeated [`Noise::sample`] calls; it is
+    /// deterministic for a given RNG state.
+    pub fn sample_many<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        match *self {
+            Noise::None => out.fill(0.0),
+            Noise::Laplace { b } => {
+                assert!(b >= 0.0);
+                if b == 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                for x in out.iter_mut() {
+                    let u: f64 = rng.gen::<f64>() - 0.5;
+                    let u = u.clamp(-0.499_999_999_999, 0.499_999_999_999);
+                    *x = -b * u.signum() * (1.0 - 2.0 * u.abs()).ln();
+                }
+            }
+            Noise::Gaussian { sigma } => {
+                assert!(sigma >= 0.0);
+                if sigma == 0.0 {
+                    out.fill(0.0);
+                    return;
+                }
+                let mut i = 0;
+                while i < out.len() {
+                    let u1: f64 = 1.0 - rng.gen::<f64>();
+                    let u2: f64 = rng.gen();
+                    let r = sigma * (-2.0 * u1.ln()).sqrt();
+                    let theta = 2.0 * std::f64::consts::PI * u2;
+                    out[i] = r * theta.cos();
+                    i += 1;
+                    if i < out.len() {
+                        out[i] = r * theta.sin();
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// A bound `t` such that `Pr[|Y| > t] ≤ beta` for a single draw.
     ///
     /// Laplace: `t = b·ln(1/β)` (Lemma 2). Gaussian: `t = σ·√(2 ln(2/β))`
@@ -173,6 +219,68 @@ mod tests {
         } else {
             panic!("expected gaussian");
         }
+    }
+
+    #[test]
+    fn sample_many_laplace_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let noise = Noise::Laplace { b: 3.0 };
+        let mut samples = vec![0.0f64; 200_000];
+        noise.sample_many(&mut samples, &mut rng);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // Var(Lap(3)) = 2·9 = 18, matching the per-sample test's tolerance.
+        assert!((var - 18.0).abs() < 0.6, "var {var}");
+    }
+
+    #[test]
+    fn sample_many_gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let noise = Noise::Gaussian { sigma: 2.0 };
+        // Odd length exercises the unpaired Box–Muller tail draw.
+        let mut samples = vec![0.0f64; 200_001];
+        noise.sample_many(&mut samples, &mut rng);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+        // Pairwise Box–Muller must not correlate adjacent samples.
+        let cov =
+            samples.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / (n - 1.0);
+        assert!(cov.abs() < 0.05, "lag-1 covariance {cov}");
+    }
+
+    #[test]
+    fn sample_many_matches_laplace_stream() {
+        // The Laplace batch path consumes uniforms exactly like repeated
+        // sample() calls, so the streams agree draw for draw.
+        let noise = Noise::Laplace { b: 1.5 };
+        let mut a = StdRng::seed_from_u64(13);
+        let mut b = StdRng::seed_from_u64(13);
+        let mut batch = vec![0.0f64; 64];
+        noise.sample_many(&mut batch, &mut a);
+        for (i, &x) in batch.iter().enumerate() {
+            assert_eq!(x, noise.sample(&mut b), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn sample_many_zero_and_none() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut buf = [1.0f64; 7];
+        Noise::None.sample_many(&mut buf, &mut rng);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        let mut buf = [1.0f64; 7];
+        Noise::Laplace { b: 0.0 }.sample_many(&mut buf, &mut rng);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        let mut buf = [1.0f64; 7];
+        Noise::Gaussian { sigma: 0.0 }.sample_many(&mut buf, &mut rng);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        // Empty slice is a no-op, not a panic.
+        Noise::Gaussian { sigma: 1.0 }.sample_many(&mut [], &mut rng);
     }
 
     #[test]

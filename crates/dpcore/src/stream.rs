@@ -1,0 +1,41 @@
+//! Deterministic RNG-stream derivation.
+//!
+//! The system's reproducibility story rests on one convention: draw a
+//! single base seed from the caller's RNG, then derive an independent
+//! stream per unit of work (audit scenario, pair-scan chunk, heavy path)
+//! with the SplitMix64 finalizer. This module is the single definition of
+//! that finalizer — `audit::matrix`, `private_count::candidates`, the
+//! pipeline's heavy-path pass, and the bench experiments all derive
+//! through it, so the documented "same derivation pattern" equivalence is
+//! structural, not copy-paste.
+
+/// SplitMix64 finalizer turning `(base, tag)` into an independent-looking
+/// stream seed, deterministically. Distinct tags give well-spread seeds
+/// even when `base` has low entropy.
+#[inline]
+pub fn derive_stream(base: u64, tag: u64) -> u64 {
+    let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_tags_and_bases_spread() {
+        let a = derive_stream(1, 1);
+        let b = derive_stream(1, 2);
+        let c = derive_stream(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive_stream(42, 7), derive_stream(42, 7));
+    }
+}

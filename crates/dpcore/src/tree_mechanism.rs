@@ -57,7 +57,9 @@ pub struct BinaryTreeMechanism {
 impl BinaryTreeMechanism {
     /// Builds the mechanism: one noise draw per dyadic interval.
     ///
-    /// `O(T)` intervals in total, `O(T)` time.
+    /// `O(T)` intervals in total, `O(T)` time. Noise is drawn per level via
+    /// [`Noise::sample_many`], so calibration checks run once per level and
+    /// the Gaussian path amortizes its Box–Muller pairs.
     pub fn build<R: Rng + ?Sized>(seq: &[f64], noise: Noise, rng: &mut R) -> Self {
         let t = seq.len();
         // Prefix sums for O(1) interval sums.
@@ -66,15 +68,22 @@ impl BinaryTreeMechanism {
         for &v in seq {
             pre.push(pre.last().expect("non-empty") + v);
         }
+        let mut scratch = vec![0.0f64; t];
         let mut noisy = Vec::new();
         let mut size = 1usize;
         while size <= t.max(1) {
-            let mut level = Vec::new();
+            let width = t / size;
+            let mut level = Vec::with_capacity(width);
             let mut start = 0usize;
             while start + size <= t {
-                let s = pre[start + size] - pre[start];
-                level.push(s + noise.sample(rng));
+                level.push(pre[start + size] - pre[start]);
                 start += size;
+            }
+            debug_assert_eq!(level.len(), width);
+            let draws = &mut scratch[..width];
+            noise.sample_many(draws, rng);
+            for (s, d) in level.iter_mut().zip(draws.iter()) {
+                *s += d;
             }
             noisy.push(level);
             if size > t / 2 {

@@ -21,18 +21,33 @@
 //! The paper asks substring-concatenation queries against the suffix tree
 //! (\[7,8\]); we answer them with rolling hashes: each level precomputes the
 //! map *hash of distinct `2^k`-substring → SA interval* (one LCP scan via
-//! [`dpsc_textindex::depth_groups`]), so a pair lookup is `O(1)` expected.
+//! [`dpsc_textindex::depth_groups`]) in a reusable open-addressed table
+//! ([`IntervalTable`]), so a pair lookup is `O(1)` expected with no hashing
+//! beyond a fingerprint mix and no per-level allocator round trip.
 //! Suffix/prefix overlaps for `C_m` are hash comparisons over a pooled
 //! candidate buffer. See DESIGN.md §2 for the substitution rationale.
+//!
+//! ## Parallelism and determinism
+//! The pair scan of each doubling level is embarrassingly parallel and
+//! carries almost all of Step 1's noise draws (`|P|²` per level, one per
+//! pair — absent pairs included, as privacy requires). It is parallelized
+//! over **fixed-size chunks** of `Q_1` rows; each chunk draws its noise
+//! from an independent RNG stream derived SplitMix64-style from a single
+//! base draw off the caller's RNG (the same derivation pattern as
+//! `dpsc_audit::matrix`). Chunk boundaries and stream seeds depend only on
+//! the level and chunk index — never on the thread count — so the released
+//! candidate set is bit-identical for every `threads` setting, including 1.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_dpcore::noise::Noise;
 use dpsc_strkit::hash::HashValue;
 use dpsc_strkit::search::SaInterval;
 use dpsc_textindex::{depth_groups, CorpusIndex};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Configuration for candidate construction.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +65,10 @@ pub struct CandidateParams {
     /// Maximum candidate-set size per level before aborting (paper: `nℓ`).
     /// `None` uses `nℓ`.
     pub level_cap_override: Option<usize>,
+    /// Worker threads for the per-level pair scans. `0` and `1` both mean
+    /// sequential. The released candidate set is identical for every
+    /// setting (see the module docs on stream derivation).
+    pub threads: usize,
 }
 
 /// Error: a level exceeded the `nℓ` cap (the paper's FAIL outcome, which
@@ -97,11 +116,104 @@ pub struct CandidateSet {
 /// exhaust memory.
 pub const OVERLAP_SAFETY_CAP: usize = 1 << 22;
 
-/// One candidate string with its hash in the corpus symbol space.
+/// One candidate string with its hash in the corpus symbol space and its
+/// suffix-array interval (empty for candidates absent from the corpus).
+/// Carrying the interval lets the next level's pair scan extend it
+/// directly instead of consulting a per-level substring table.
 #[derive(Debug, Clone)]
 pub(crate) struct Cand {
     pub(crate) bytes: Vec<u8>,
     pub(crate) hash: HashValue,
+    pub(crate) iv: SaInterval,
+}
+
+pub(crate) use dpsc_dpcore::stream::derive_stream;
+
+/// Stream tag for chunk `chunk` of level `level` (level 0 = the letter
+/// scan, which is chunk 0 of level 0).
+#[inline]
+fn stream_tag(level: usize, chunk: usize) -> u64 {
+    ((level as u64) << 40) | chunk as u64
+}
+
+/// `Q_1` rows per pair-scan chunk. Fixed — never derived from the thread
+/// count — so chunk boundaries (and hence noise streams) are the same for
+/// every parallelism setting.
+const PAIR_CHUNK_ROWS: usize = 16;
+
+/// Reusable open-addressed map `HashValue → SaInterval` (linear probing,
+/// power-of-two capacity, generation-stamped slots so clearing is O(1)).
+/// One instance lives across all doubling levels: rebuilding the per-level
+/// substring map reuses the same allocation instead of growing a fresh
+/// `HashMap` per level, and lookups probe a contiguous slot array keyed by
+/// [`HashValue::fingerprint`] with full-key confirmation per slot.
+pub(crate) struct IntervalTable {
+    slots: Vec<TableSlot>,
+    mask: usize,
+    generation: u32,
+}
+
+#[derive(Clone, Copy)]
+struct TableSlot {
+    gen: u32,
+    key: HashValue,
+    iv: SaInterval,
+}
+
+const EMPTY_SLOT: TableSlot = TableSlot { gen: 0, key: HashValue::EMPTY, iv: SaInterval::EMPTY };
+
+impl IntervalTable {
+    pub(crate) fn new() -> Self {
+        Self { slots: Vec::new(), mask: 0, generation: 0 }
+    }
+
+    /// Clears the table and ensures capacity for `len` entries at a load
+    /// factor ≤ 1/2. Reuses (never shrinks) the slot array whenever it is
+    /// big enough; a full wipe happens only on growth or on the
+    /// once-in-2³² generation wrap.
+    pub(crate) fn reset(&mut self, len: usize) {
+        let want = (len.max(1) * 2).next_power_of_two();
+        if self.slots.len() < want || self.generation == u32::MAX {
+            let new_len = want.max(self.slots.len());
+            self.slots.clear();
+            self.slots.resize(new_len, EMPTY_SLOT);
+            self.mask = self.slots.len() - 1;
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: HashValue, iv: SaInterval) {
+        let mut i = key.fingerprint() as usize & self.mask;
+        loop {
+            let slot = &mut self.slots[i];
+            if slot.gen != self.generation {
+                *slot = TableSlot { gen: self.generation, key, iv };
+                return;
+            }
+            if slot.key == key {
+                slot.iv = iv;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, key: HashValue) -> Option<SaInterval> {
+        let mut i = key.fingerprint() as usize & self.mask;
+        loop {
+            let slot = &self.slots[i];
+            if slot.gen != self.generation {
+                return None;
+            }
+            if slot.key == key {
+                return Some(slot.iv);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
 }
 
 /// Output of the doubling phase: the sets `P_{2^0} … P_{2^max_power}` with
@@ -116,6 +228,10 @@ pub(crate) struct DoublingLevels {
 /// `privacy` split evenly over the `max_power + 1` levels. Used by the
 /// full candidate construction (`max_power = ⌊log ℓ⌋`) and by the q-gram
 /// algorithm of Theorem 3 (`max_power = ⌊log q⌋`).
+///
+/// All noise flows from chunk streams derived off a single base draw from
+/// `rng`, so the result depends on the caller's RNG state but not on
+/// `threads` (see the module docs).
 #[allow(clippy::too_many_arguments)] // crate-internal; parameters are the paper's own knobs
 pub(crate) fn doubling_levels<R: Rng + ?Sized>(
     idx: &CorpusIndex,
@@ -126,6 +242,7 @@ pub(crate) fn doubling_levels<R: Rng + ?Sized>(
     tau_override: Option<f64>,
     cap: usize,
     max_power: usize,
+    threads: usize,
     rng: &mut R,
 ) -> Result<DoublingLevels, CandidateOverflow> {
     let ell = idx.max_len();
@@ -138,21 +255,25 @@ pub(crate) fn doubling_levels<R: Rng + ?Sized>(
     let (noise, alpha) =
         level_noise(gaussian, level_privacy, ell, delta_clip, k_counts, beta_level);
     let tau = tau_override.unwrap_or(2.0 * alpha);
+    let stream_base: u64 = rng.gen();
 
     // Level 0: all letters of Σ (absent letters included, with noise on 0 —
-    // required for privacy).
+    // required for privacy). |Σ| draws: sequential, own stream.
+    let mut rng0 = StdRng::seed_from_u64(derive_stream(stream_base, stream_tag(0, 0)));
     let mut current: Vec<Cand> = Vec::new();
     for sym_idx in 0..sigma {
         let letter = idx.alphabet_base() + sym_idx as u8;
-        let c = idx.count_clipped(&[letter], delta_clip) as f64;
-        if c + noise.sample(rng) >= tau {
-            current.push(Cand { bytes: vec![letter], hash: idx.hash_pattern(&[letter]) });
+        let iv = idx.interval(&[letter]);
+        let c = idx.count_clipped_in_interval(iv, delta_clip) as f64;
+        if c + noise.sample(&mut rng0) >= tau {
+            current.push(Cand { bytes: vec![letter], hash: idx.hash_pattern(&[letter]), iv });
         }
     }
     if current.len() > cap {
         return Err(CandidateOverflow { level: 0, size: current.len(), cap });
     }
     let mut levels = vec![current];
+    let mut table = IntervalTable::new();
 
     for k in 1..=max_power {
         let len = 1usize << k;
@@ -160,38 +281,166 @@ pub(crate) fn doubling_levels<R: Rng + ?Sized>(
             break;
         }
         let current = levels.last().expect("at least level 0");
-        // Distinct length-`len` corpus substrings → SA intervals, for O(1)
-        // expected-time concatenation lookups.
-        let groups = depth_groups(idx, len);
-        let mut count_of: HashMap<HashValue, SaInterval> = HashMap::with_capacity(groups.len());
-        for g in &groups {
-            count_of.insert(idx.substring_hash(g.witness_pos as usize, len), g.interval);
-        }
-        let mut next: Vec<Cand> = Vec::new();
-        'pairs: for q1 in current {
+        // Adaptive pair-count strategy. Sparse levels (the common case:
+        // |P|² pair extensions cost less than one pass over the text)
+        // extend each `Q_1` interval by `Q_2`'s symbols — exact, O(len·log)
+        // per pair, and skips the per-level substring sweep entirely.
+        // Dense levels (noise-flooded regimes) amortize one `depth_groups`
+        // sweep into the reusable open-addressed table for O(1) lookups.
+        // Both paths produce identical exact counts, so the released set —
+        // and hence determinism — does not depend on the choice.
+        let pairs = current.len() * current.len();
+        let dense = pairs.saturating_mul(len) / 2 > idx.text_len();
+        let lookup = if dense {
+            let groups = depth_groups(idx, len);
+            table.reset(groups.len());
+            for g in &groups {
+                table.insert(idx.substring_hash(g.witness_pos as usize, len), g.interval);
+            }
+            PairLookup::Table(&table)
+        } else {
+            PairLookup::Extend
+        };
+        let next = scan_level_pairs(
+            idx,
+            current,
+            lookup,
+            noise,
+            tau,
+            delta_clip,
+            cap,
+            len,
+            k,
+            threads,
+            stream_base,
+        )
+        .map_err(|size| CandidateOverflow { level: k, size, cap })?;
+        levels.push(next);
+    }
+    Ok(DoublingLevels { levels, alpha, tau })
+}
+
+/// How a level's pair scan resolves concatenation intervals.
+#[derive(Clone, Copy)]
+enum PairLookup<'a> {
+    /// Dense level: precomputed `depth_groups` table, O(1) per pair.
+    Table(&'a IntervalTable),
+    /// Sparse level: extend `Q_1`'s interval by `Q_2`'s symbols.
+    Extend,
+}
+
+/// Scans all `|P|²` concatenation pairs of one doubling level, adding noise
+/// to every pair's clipped count and keeping those that clear `tau`.
+/// Returns `Err(observed_size)` when the survivors exceed `cap` — the FAIL
+/// decision is exact and thread-count independent: the survivor count is a
+/// deterministic function of the chunk streams, workers only stop early
+/// once the shared counter has *already* passed `cap`, and in the Ok path
+/// no chunk ever aborts, so all pairs are scanned and the returned set is
+/// bit-identical for every thread count.
+#[allow(clippy::too_many_arguments)] // crate-internal hot path
+fn scan_level_pairs(
+    idx: &CorpusIndex,
+    current: &[Cand],
+    lookup: PairLookup<'_>,
+    noise: Noise,
+    tau: f64,
+    delta_clip: usize,
+    cap: usize,
+    len: usize,
+    level: usize,
+    threads: usize,
+    stream_base: u64,
+) -> Result<Vec<Cand>, usize> {
+    let rows = current.len();
+    let half = len / 2;
+    let n_chunks = rows.div_ceil(PAIR_CHUNK_ROWS);
+    let found = AtomicUsize::new(0);
+
+    let scan_chunk = |chunk: usize, out: &mut Vec<Cand>| {
+        let mut rng = StdRng::seed_from_u64(derive_stream(stream_base, stream_tag(level, chunk)));
+        let start = chunk * PAIR_CHUNK_ROWS;
+        for q1 in &current[start..rows.min(start + PAIR_CHUNK_ROWS)] {
+            // Once the global survivor count has passed the cap the level's
+            // outcome is FAIL regardless of what remains; stop scanning.
+            if found.load(Ordering::Relaxed) > cap {
+                return;
+            }
             for q2 in current {
-                let hash = idx.concat_hash(q1.hash, q2.hash);
-                let true_count = count_of
-                    .get(&hash)
-                    .map(|&iv| idx.count_clipped_in_interval(iv, delta_clip))
-                    .unwrap_or(0) as f64;
-                if true_count + noise.sample(rng) >= tau {
+                // The concat hash is needed per pair in table mode but only
+                // per *survivor* in extend mode; compute it at most once.
+                let (iv, hash) = match lookup {
+                    PairLookup::Table(table) => {
+                        let hash = idx.concat_hash(q1.hash, q2.hash);
+                        (table.get(hash).unwrap_or(SaInterval::EMPTY), Some(hash))
+                    }
+                    PairLookup::Extend => {
+                        let mut iv = q1.iv;
+                        for (d, &b) in q2.bytes.iter().enumerate() {
+                            if iv.is_empty() {
+                                break;
+                            }
+                            iv = idx.extend_interval(iv, half + d, b);
+                        }
+                        (iv, None)
+                    }
+                };
+                let true_count = if iv.is_empty() {
+                    0.0
+                } else {
+                    idx.count_clipped_in_interval(iv, delta_clip) as f64
+                };
+                if true_count + noise.sample(&mut rng) >= tau {
                     let mut bytes = Vec::with_capacity(len);
                     bytes.extend_from_slice(&q1.bytes);
                     bytes.extend_from_slice(&q2.bytes);
-                    next.push(Cand { bytes, hash });
-                    if next.len() > cap {
-                        break 'pairs;
+                    let hash = hash.unwrap_or_else(|| idx.concat_hash(q1.hash, q2.hash));
+                    out.push(Cand { bytes, hash, iv });
+                    if found.fetch_add(1, Ordering::Relaxed) + 1 > cap {
+                        return;
                     }
                 }
             }
         }
-        if next.len() > cap {
-            return Err(CandidateOverflow { level: k, size: next.len(), cap });
+    };
+
+    let workers = threads.max(1).min(n_chunks);
+    let mut chunk_results: Vec<Vec<Cand>> = Vec::with_capacity(n_chunks);
+    if workers <= 1 {
+        for chunk in 0..n_chunks {
+            let mut out = Vec::new();
+            scan_chunk(chunk, &mut out);
+            chunk_results.push(out);
         }
-        levels.push(next);
+    } else {
+        let results: Vec<std::sync::Mutex<Vec<Cand>>> =
+            (0..n_chunks).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let next_chunk = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    let mut out = Vec::new();
+                    scan_chunk(chunk, &mut out);
+                    *results[chunk].lock().expect("chunk mutex not poisoned") = out;
+                });
+            }
+        });
+        chunk_results
+            .extend(results.into_iter().map(|m| m.into_inner().expect("chunk mutex poisoned")));
     }
-    Ok(DoublingLevels { levels, alpha, tau })
+
+    let total: usize = chunk_results.iter().map(|c| c.len()).sum();
+    if total > cap {
+        return Err(total);
+    }
+    let mut next = Vec::with_capacity(total);
+    for chunk in chunk_results {
+        next.extend(chunk);
+    }
+    Ok(next)
 }
 
 /// Builds the candidate set with Laplace noise (Lemma 6, pure ε-DP).
@@ -259,6 +508,7 @@ fn build_candidates_impl<R: Rng + ?Sized>(
         params.tau_override,
         cap,
         max_power,
+        params.threads,
         rng,
     )?;
 
@@ -369,6 +619,7 @@ mod tests {
             beta: 0.1,
             tau_override: Some(tau),
             level_cap_override: None,
+            threads: 1,
         }
     }
 
@@ -482,6 +733,7 @@ mod tests {
             beta: 0.1,
             tau_override: Some(0.9),
             level_cap_override: None,
+            threads: 1,
         };
         let set = build_candidates_approx(&idx, &p, &mut rng).unwrap();
         assert!(set.strings.iter().any(|s| s == b"absab"));
@@ -498,6 +750,7 @@ mod tests {
             beta: 0.1,
             tau_override: Some(0.9),
             level_cap_override: Some(2),
+            threads: 1,
         };
         let err = build_candidates_pure(&idx, &p, &mut rng).unwrap_err();
         assert_eq!(err.level, 0);

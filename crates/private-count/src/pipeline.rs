@@ -24,7 +24,8 @@ use dpsc_hierarchy::heavy_path::HeavyPathDecomposition;
 use dpsc_hierarchy::tree::Tree;
 use dpsc_strkit::trie::Trie;
 use dpsc_textindex::CorpusIndex;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Parameters for Steps 2–6.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +43,10 @@ pub struct PipelineParams {
     /// Pruning threshold override (default: analytic `2α`). Post-processing
     /// only — privacy is unaffected.
     pub prune_override: Option<f64>,
+    /// Worker threads for the per-heavy-path noise pass of Steps 3–5. `0`
+    /// and `1` both mean sequential; the released structure is identical
+    /// for every setting (per-path derived RNG streams).
+    pub threads: usize,
 }
 
 /// Output of Steps 2–6.
@@ -61,17 +66,35 @@ pub struct PipelineOutput {
 /// Builds the exact-count trie `T_C` of the candidate set: one node per
 /// distinct prefix of a candidate, each holding its true `count_Δ`.
 ///
-/// Counts are computed by narrowing the suffix-array interval one symbol at
-/// a time ([`CorpusIndex::extend_interval`]), so inserting a candidate of
-/// length `m` costs `O(m log N)` plus the clipped-count evaluation of its
-/// *new* nodes only.
+/// Candidates are sorted once and inserted in lexicographic order, which
+/// makes the walk LCP-aware: in sorted order the longest common prefix of a
+/// candidate with *any* earlier candidate equals its LCP with the previous
+/// one, so the insertion resumes from a stack of `(node, SA interval)`
+/// frames at the shared-prefix depth instead of re-extending from the root.
+/// Inserting a candidate of length `m` then costs `O((m − lcp) log N)` plus
+/// the clipped-count evaluation of its *new* nodes only — on overlap-heavy
+/// candidate sets (the `C_m` families share all but one symbol) this
+/// removes most of Step 2's interval work. Sorting also means every new
+/// child label arrives in increasing order, so the arena append fast path
+/// applies throughout.
 pub fn build_count_trie(idx: &CorpusIndex, candidates: &[Vec<u8>], delta_clip: usize) -> Trie<u64> {
     let root_count = idx.count_clipped(b"", delta_clip);
     let mut trie: Trie<u64> = Trie::new(root_count);
-    for cand in candidates {
-        let mut cur = Trie::<u64>::ROOT;
-        let mut iv = idx.full_interval();
-        for (depth, &b) in cand.iter().enumerate() {
+    let mut sorted: Vec<&[u8]> = candidates.iter().map(|c| c.as_slice()).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    // stack[d] = (node, interval) of the current candidate's prefix of
+    // length d + 1; truncated to the LCP with the next candidate.
+    let mut stack: Vec<(u32, dpsc_strkit::search::SaInterval)> = Vec::new();
+    let mut prev: &[u8] = b"";
+    for cand in sorted {
+        let lcp = prev.iter().zip(cand.iter()).take_while(|(a, b)| a == b).count();
+        stack.truncate(lcp);
+        let (mut cur, mut iv) = match stack.last() {
+            Some(&frame) => frame,
+            None => (Trie::<u64>::ROOT, idx.full_interval()),
+        };
+        for (depth, &b) in cand.iter().enumerate().skip(lcp) {
             iv = idx.extend_interval(iv, depth, b);
             let before = trie.len();
             cur = trie.ensure_child(cur, b, 0);
@@ -79,7 +102,9 @@ pub fn build_count_trie(idx: &CorpusIndex, candidates: &[Vec<u8>], delta_clip: u
                 // Newly created node: compute its true clipped count once.
                 *trie.value_mut(cur) = idx.count_clipped_in_interval(iv, delta_clip);
             }
+            stack.push((cur, iv));
         }
+        prev = cand;
     }
     trie
 }
@@ -180,20 +205,78 @@ pub fn run_pipeline_on_trie<R: Rng + ?Sized>(
         )
     };
 
-    // Step 5: per-node noisy counts.
+    // Steps 3–5: per-node noisy counts, one derived RNG stream per heavy
+    // path. The base is a single draw off the caller's RNG; each path's
+    // draws (root noise, then its tree mechanism) come from its own stream
+    // keyed by the path index, so the released structure is identical for
+    // every thread count — chunking below is purely a scheduling concern.
+    let stream_base: u64 = rng.gen();
+    let paths = hpd.paths();
     let mut noisy = vec![0.0f64; n_nodes];
-    for path in hpd.paths() {
-        let root = path[0];
-        let root_est = *counts_trie.value(root) as f64 + root_noise.sample(rng);
-        noisy[root as usize] = root_est;
-        if path.len() > 1 {
-            let diff: Vec<f64> = path
-                .windows(2)
-                .map(|w| *counts_trie.value(w[1]) as f64 - *counts_trie.value(w[0]) as f64)
-                .collect();
-            let mech = BinaryTreeMechanism::build(&diff, diff_noise, rng);
-            for (i, &v) in path.iter().enumerate().skip(1) {
-                noisy[v as usize] = root_est + mech.prefix(i);
+    const PATH_CHUNK: usize = 64;
+    let n_chunks = paths.len().div_ceil(PATH_CHUNK);
+
+    // Noisy values of every path in one chunk, each aligned with its path.
+    type ChunkValues = Vec<(usize, Vec<f64>)>;
+    let process_chunk = |chunk: usize| -> ChunkValues {
+        let start = chunk * PATH_CHUNK;
+        let end = paths.len().min(start + PATH_CHUNK);
+        let mut out = Vec::with_capacity(end - start);
+        let mut diff: Vec<f64> = Vec::new();
+        for (pi, path) in paths[start..end].iter().enumerate() {
+            let mut prng = StdRng::seed_from_u64(crate::candidates::derive_stream(
+                stream_base,
+                (start + pi) as u64,
+            ));
+            let root_est = *counts_trie.value(path[0]) as f64 + root_noise.sample(&mut prng);
+            let mut vals = Vec::with_capacity(path.len());
+            vals.push(root_est);
+            if path.len() > 1 {
+                diff.clear();
+                diff.extend(
+                    path.windows(2)
+                        .map(|w| *counts_trie.value(w[1]) as f64 - *counts_trie.value(w[0]) as f64),
+                );
+                let mech = BinaryTreeMechanism::build(&diff, diff_noise, &mut prng);
+                for i in 1..path.len() {
+                    vals.push(root_est + mech.prefix(i));
+                }
+            }
+            out.push((start + pi, vals));
+        }
+        out
+    };
+
+    let workers = params.threads.max(1).min(n_chunks);
+    if workers <= 1 {
+        for chunk in 0..n_chunks {
+            for (pi, vals) in process_chunk(chunk) {
+                for (&v, &x) in paths[pi].iter().zip(vals.iter()) {
+                    noisy[v as usize] = x;
+                }
+            }
+        }
+    } else {
+        let results: Vec<std::sync::Mutex<ChunkValues>> =
+            (0..n_chunks).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let next_chunk = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let chunk = next_chunk.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if chunk >= n_chunks {
+                        break;
+                    }
+                    *results[chunk].lock().expect("chunk mutex not poisoned") =
+                        process_chunk(chunk);
+                });
+            }
+        });
+        for m in results {
+            for (pi, vals) in m.into_inner().expect("chunk mutex poisoned") {
+                for (&v, &x) in paths[pi].iter().zip(vals.iter()) {
+                    noisy[v as usize] = x;
+                }
             }
         }
     }
@@ -290,6 +373,7 @@ mod tests {
             beta: 0.1,
             gaussian,
             prune_override: Some(0.5),
+            threads: 1,
         }
     }
 
@@ -327,6 +411,7 @@ mod tests {
             beta: 0.2,
             gaussian: false,
             prune_override: Some(f64::NEG_INFINITY), // keep everything
+            threads: 1,
         };
         let mut rng = StdRng::seed_from_u64(52);
         let trials = 25;
@@ -385,6 +470,7 @@ mod tests {
                 beta: 0.1,
                 gaussian: false,
                 prune_override: Some(f64::NEG_INFINITY),
+                threads: 1,
             },
             &mut rng,
         );
@@ -398,6 +484,7 @@ mod tests {
                 beta: 0.1,
                 gaussian: true,
                 prune_override: Some(f64::NEG_INFINITY),
+                threads: 1,
             },
             &mut rng,
         );

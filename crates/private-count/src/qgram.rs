@@ -57,8 +57,18 @@ pub fn build_qgram_pure<R: Rng + ?Sized>(
 
     // Phase A (ε/2): doubling levels up to 2^{⌊log q⌋}.
     let j = (q as f64).log2().floor() as usize;
-    let doubling =
-        doubling_levels(idx, delta_clip, half, beta_half, false, params.tau_override, cap, j, rng)?;
+    let doubling = doubling_levels(
+        idx,
+        delta_clip,
+        half,
+        beta_half,
+        false,
+        params.tau_override,
+        cap,
+        j,
+        1,
+        rng,
+    )?;
     let top: &[Cand] = doubling.levels.last().map(|v| v.as_slice()).unwrap_or(&[]);
     let pow = 1usize << j;
 
@@ -131,11 +141,8 @@ pub(crate) fn fixup_interior(trie: &mut Trie<f64>) {
     let order: Vec<u32> = trie.dfs().collect();
     for &node in order.iter().rev() {
         if trie.value(node).is_nan() {
-            let max_child = trie
-                .children(node)
-                .iter()
-                .map(|&c| *trie.value(c))
-                .fold(f64::NEG_INFINITY, f64::max);
+            let max_child =
+                trie.children(node).map(|c| *trie.value(c)).fold(f64::NEG_INFINITY, f64::max);
             *trie.value_mut(node) = if max_child.is_finite() { max_child } else { 0.0 };
         }
     }

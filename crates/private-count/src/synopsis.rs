@@ -72,7 +72,7 @@ impl FrozenSynopsis {
         while head < order.len() {
             let u = order[head];
             head += 1;
-            order.extend_from_slice(trie.children(u));
+            order.extend(trie.children(u));
         }
         debug_assert_eq!(order.len(), n);
         let mut frozen_of = vec![0u32; n];
@@ -86,8 +86,8 @@ impl FrozenSynopsis {
         edge_start.push(0);
         for &tid in &order {
             counts.push(*trie.value(tid));
-            for &c in trie.children(tid) {
-                edge_label.push(trie.symbol(c));
+            for &(sym, c) in trie.edges(tid) {
+                edge_label.push(sym);
                 edge_target.push(frozen_of[c as usize]);
             }
             edge_start.push(edge_label.len() as u32);

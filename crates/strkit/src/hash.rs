@@ -70,6 +70,18 @@ impl HashValue {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// 64-bit fingerprint mixing both residues and the length (SplitMix64
+    /// finalizer). Used as the probe key of open-addressed candidate
+    /// tables; full [`HashValue`] equality is still checked per slot, so
+    /// fingerprint collisions cost a probe, never a wrong answer.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        let mut z = self.h1 ^ self.h2.rotate_left(29) ^ ((self.len as u64) << 1);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 }
 
 impl RollingHash {

@@ -6,6 +6,14 @@
 //! generic over the per-node payload, with the operations the pipeline
 //! needs: path insertion, pattern walking (`O(|P|)` queries, Theorems 1–4),
 //! subtree pruning (Step 6), and DFS traversal for mining.
+//!
+//! ## Edge layout
+//! Each node stores its out-edges as a label-sorted `Vec<(u8, NodeId)>`, so
+//! a child lookup is one binary search over a contiguous pair array — no
+//! arena indirection per probe. Keeping the label inline (instead of reading
+//! it through the child node) matters in the construction hot loops, where
+//! `ensure_child` is called once per candidate symbol and the child nodes
+//! are scattered across the arena.
 
 /// Identifier of a trie node (index into the arena). The root is always
 /// [`Trie::ROOT`].
@@ -16,8 +24,8 @@ struct Node<V> {
     parent: NodeId,
     /// Edge label from the parent (undefined for the root).
     symbol: u8,
-    /// Children sorted by edge symbol (binary-searchable).
-    children: Vec<NodeId>,
+    /// Out-edges `(label, child)`, sorted by label (binary-searchable).
+    edges: Vec<(u8, NodeId)>,
     depth: u32,
     value: V,
 }
@@ -38,7 +46,7 @@ impl<V> Trie<V> {
             nodes: vec![Node {
                 parent: Self::ROOT,
                 symbol: 0,
-                children: Vec::new(),
+                edges: Vec::new(),
                 depth: 0,
                 value: root_value,
             }],
@@ -57,26 +65,44 @@ impl<V> Trie<V> {
         self.nodes.len() == 1
     }
 
-    /// The child of `node` along `symbol`, if present.
+    /// The child of `node` along `symbol`, if present. `O(log deg)`.
+    #[inline]
     pub fn child(&self, node: NodeId, symbol: u8) -> Option<NodeId> {
-        let kids = &self.nodes[node as usize].children;
-        kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol).ok().map(|i| kids[i])
+        let edges = &self.nodes[node as usize].edges;
+        edges.binary_search_by_key(&symbol, |e| e.0).ok().map(|i| edges[i].1)
     }
 
     /// Ensures a child of `node` along `symbol` exists (creating it with
-    /// `default` if needed) and returns its id.
+    /// `default` if needed) and returns its id. `O(log deg)` lookup plus an
+    /// ordered insert on miss.
     pub fn ensure_child(&mut self, node: NodeId, symbol: u8, default: V) -> NodeId {
         let pos = {
-            let kids = &self.nodes[node as usize].children;
-            match kids.binary_search_by_key(&symbol, |&c| self.nodes[c as usize].symbol) {
-                Ok(i) => return kids[i],
+            let edges = &self.nodes[node as usize].edges;
+            match edges.binary_search_by_key(&symbol, |e| e.0) {
+                Ok(i) => return edges[i].1,
                 Err(i) => i,
             }
         };
         let id = self.nodes.len() as NodeId;
         let depth = self.nodes[node as usize].depth + 1;
-        self.nodes.push(Node { parent: node, symbol, children: Vec::new(), depth, value: default });
-        self.nodes[node as usize].children.insert(pos, id);
+        self.nodes.push(Node { parent: node, symbol, edges: Vec::new(), depth, value: default });
+        self.nodes[node as usize].edges.insert(pos, (symbol, id));
+        id
+    }
+
+    /// Appends a child whose label sorts strictly after every existing edge
+    /// of `node` — the fast path for bulk construction in label order
+    /// (pruning, freezing), which skips the binary search and the ordered
+    /// insert. Debug-asserts the ordering invariant.
+    pub fn append_child(&mut self, node: NodeId, symbol: u8, value: V) -> NodeId {
+        debug_assert!(
+            self.nodes[node as usize].edges.last().is_none_or(|&(s, _)| s < symbol),
+            "append_child labels must arrive in strictly increasing order"
+        );
+        let id = self.nodes.len() as NodeId;
+        let depth = self.nodes[node as usize].depth + 1;
+        self.nodes.push(Node { parent: node, symbol, edges: Vec::new(), depth, value });
+        self.nodes[node as usize].edges.push((symbol, id));
         id
     }
 
@@ -130,10 +156,25 @@ impl<V> Trie<V> {
         self.nodes[node as usize].depth as usize
     }
 
-    /// Children of `node`, sorted by edge symbol.
+    /// Out-edges of `node` as `(label, child)` pairs, sorted by label.
     #[inline]
-    pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.nodes[node as usize].children
+    pub fn edges(&self, node: NodeId) -> &[(u8, NodeId)] {
+        &self.nodes[node as usize].edges
+    }
+
+    /// Children of `node`, in edge-label order.
+    #[inline]
+    pub fn children(
+        &self,
+        node: NodeId,
+    ) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        self.nodes[node as usize].edges.iter().map(|&(_, c)| c)
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.nodes[node as usize].edges.len()
     }
 
     /// Reconstructs `str(node)` by walking parent pointers (`O(depth)`).
@@ -164,18 +205,22 @@ impl<V> Trie<V> {
         mut map: impl FnMut(NodeId, &V) -> W,
     ) -> Trie<W> {
         let mut out = Trie::new(map(Self::ROOT, self.value(Self::ROOT)));
-        // Stack of (old_id, new_parent_id).
+        out.nodes.reserve(self.nodes.len().saturating_sub(1));
+        // Stack of (old_id, new_parent_id). Children are pushed in reverse
+        // label order, so every new parent receives its surviving children
+        // in increasing label order and `append_child` applies.
         let mut stack: Vec<(NodeId, NodeId)> =
-            self.children(Self::ROOT).iter().rev().map(|&c| (c, Trie::<W>::ROOT)).collect();
+            self.edges(Self::ROOT).iter().rev().map(|&(_, c)| (c, Trie::<W>::ROOT)).collect();
         while let Some((old, new_parent)) = stack.pop() {
             if !keep(old, self.value(old)) {
                 continue;
             }
-            let new_id = out.ensure_child(new_parent, self.symbol(old), map(old, self.value(old)));
-            for &c in self.children(old).iter().rev() {
+            let new_id = out.append_child(new_parent, self.symbol(old), map(old, self.value(old)));
+            for &(_, c) in self.edges(old).iter().rev() {
                 stack.push((c, new_id));
             }
         }
+        out.nodes.shrink_to_fit();
         out
     }
 
@@ -203,7 +248,7 @@ impl<V> Iterator for DfsIter<'_, V> {
 
     fn next(&mut self) -> Option<NodeId> {
         let node = self.stack.pop()?;
-        for &c in self.trie.children(node).iter().rev() {
+        for &(_, c) in self.trie.edges(node).iter().rev() {
             self.stack.push(c);
         }
         Some(node)
@@ -237,8 +282,61 @@ mod tests {
         for &b in [b'c', b'a', b'z', b'b'].iter() {
             t.insert_path(&[b], |_| ());
         }
-        let syms: Vec<u8> = t.children(Trie::<()>::ROOT).iter().map(|&c| t.symbol(c)).collect();
+        let syms: Vec<u8> = t.edges(Trie::<()>::ROOT).iter().map(|&(s, _)| s).collect();
         assert_eq!(syms, vec![b'a', b'b', b'c', b'z']);
+        // Edge labels agree with the child nodes' own symbols.
+        for &(s, c) in t.edges(Trie::<()>::ROOT) {
+            assert_eq!(s, t.symbol(c));
+        }
+    }
+
+    #[test]
+    fn full_fanout_stress() {
+        // 256-way branching node: every byte value inserted in a scrambled
+        // order must stay binary-searchable, and lookups must hit the right
+        // node (symbol and value agreement) with no misses or cross-talk.
+        let mut t: Trie<u16> = Trie::new(0);
+        let mut ids = [0 as NodeId; 256];
+        for i in 0..256u16 {
+            // LCG-scrambled insertion order covering all 256 residues.
+            let b = ((i * 167 + 13) % 256) as u8;
+            ids[b as usize] = t.ensure_child(Trie::<u16>::ROOT, b, b as u16 + 1);
+        }
+        assert_eq!(t.len(), 257);
+        assert_eq!(t.degree(Trie::<u16>::ROOT), 256);
+        // Edge array strictly sorted by label.
+        let edges = t.edges(Trie::<u16>::ROOT);
+        assert!(edges.windows(2).all(|w| w[0].0 < w[1].0));
+        for b in 0..=255u8 {
+            let c = t.child(Trie::<u16>::ROOT, b).expect("every byte present");
+            assert_eq!(c, ids[b as usize]);
+            assert_eq!(t.symbol(c), b);
+            assert_eq!(*t.value(c), b as u16 + 1);
+            // Re-ensuring returns the existing node, never a duplicate.
+            assert_eq!(t.ensure_child(Trie::<u16>::ROOT, b, 999), c);
+        }
+        assert_eq!(t.len(), 257);
+        // Second level under an arbitrary child keeps its own full fanout.
+        let mid = ids[128];
+        for b in (0..=255u8).rev() {
+            t.ensure_child(mid, b, 0);
+        }
+        assert_eq!(t.degree(mid), 256);
+        assert!(t.walk(&[128, 200]).is_some());
+        assert!(t.walk(&[129, 200]).is_none());
+    }
+
+    #[test]
+    fn append_child_matches_ensure_child() {
+        let mut a: Trie<u8> = Trie::new(0);
+        let mut b: Trie<u8> = Trie::new(0);
+        for s in [1u8, 5, 9, 200] {
+            a.append_child(Trie::<u8>::ROOT, s, s);
+            b.ensure_child(Trie::<u8>::ROOT, s, s);
+        }
+        for s in 0..=255u8 {
+            assert_eq!(a.child(Trie::<u8>::ROOT, s), b.child(Trie::<u8>::ROOT, s));
+        }
     }
 
     #[test]

@@ -154,26 +154,31 @@ impl CorpusIndex {
     ///
     /// This is the incremental form of [`CorpusIndex::interval`]; walking a
     /// pattern symbol-by-symbol costs `O(|P| log N)` total and lets trie
-    /// construction share work across candidates with common prefixes.
+    /// construction share work across candidates with common prefixes. It
+    /// is the innermost operation of Step 2 (exact-count trie), so the
+    /// binary searches are inlined and allocation-free.
+    #[inline]
     pub fn extend_interval(&self, iv: SaInterval, depth: usize, b: u8) -> SaInterval {
         if iv.is_empty() {
             return SaInterval::EMPTY;
         }
         let c = self.encode(b);
         let sa = self.sa.sa();
+        let text = &self.text[..];
         // Symbol of rank r at offset `depth`; suffixes shorter than depth+1
         // cannot occur here for sentinel-free prefixes, but guard anyway by
         // treating them as minimal.
-        let sym = |r: u32| -> u32 {
+        #[inline]
+        fn sym(sa: &[u32], text: &[u32], r: u32, depth: usize) -> u32 {
             let pos = sa[r as usize] as usize + depth;
-            if pos < self.text.len() {
-                self.text[pos]
+            if pos < text.len() {
+                text[pos]
             } else {
                 0
             }
-        };
-        let lo = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) < c);
-        let hi = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(iv.lo + off) <= c);
+        }
+        let lo = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(sa, text, iv.lo + off, depth) < c);
+        let hi = iv.lo + partition_u32(iv.hi - iv.lo, |off| sym(sa, text, iv.lo + off, depth) <= c);
         SaInterval { lo, hi }
     }
 
@@ -207,6 +212,12 @@ impl CorpusIndex {
     }
 
     /// Clipped count over a precomputed interval.
+    ///
+    /// Allocation-free on the hot path: the per-document tally lives in a
+    /// thread-local dense scratch (one `u32` per document plus a touched
+    /// list), reset by touched entries after each call, so repeated calls —
+    /// one per candidate pair in Step 1 and one per new trie node in
+    /// Step 2 — never hit the allocator or hash a key.
     pub fn count_clipped_in_interval(&self, iv: SaInterval, delta: usize) -> u64 {
         if iv.is_empty() {
             return 0;
@@ -220,13 +231,35 @@ impl CorpusIndex {
             // min(Δ, count(P,S)) = count(P,S) whenever Δ ≥ ℓ ≥ count(P,S).
             return iv.count() as u64;
         }
-        // Per-document tally. Documents touched ≤ interval width.
-        let mut tally: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-        for r in iv.lo..iv.hi {
-            let pos = self.sa.sa()[r as usize] as usize;
-            *tally.entry(self.doc_of[pos]).or_insert(0) += 1;
+        thread_local! {
+            static TALLY: std::cell::RefCell<(Vec<u32>, Vec<u32>)> =
+                const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
         }
-        tally.values().map(|&c| (c as usize).min(delta) as u64).sum()
+        TALLY.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let (counts, touched) = &mut *scratch;
+            if counts.len() < self.n_docs {
+                counts.resize(self.n_docs, 0);
+            }
+            debug_assert!(touched.is_empty());
+            let sa = self.sa.sa();
+            for r in iv.lo..iv.hi {
+                let doc = self.doc_of[sa[r as usize] as usize];
+                let slot = &mut counts[doc as usize];
+                if *slot == 0 {
+                    touched.push(doc);
+                }
+                *slot += 1;
+            }
+            let mut total = 0u64;
+            for &doc in touched.iter() {
+                let slot = &mut counts[doc as usize];
+                total += (*slot as usize).min(delta) as u64;
+                *slot = 0;
+            }
+            touched.clear();
+            total
+        })
     }
 
     /// `count_1(P, D)` (Document Count): number of documents containing
@@ -325,6 +358,7 @@ impl CorpusIndex {
 }
 
 /// First `off ∈ [0, n)` where `pred` flips from true to false.
+#[inline]
 fn partition_u32(n: u32, pred: impl Fn(u32) -> bool) -> u32 {
     let mut lo = 0u32;
     let mut hi = n;
