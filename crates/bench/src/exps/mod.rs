@@ -9,6 +9,7 @@ pub mod common;
 pub mod lower;
 pub mod mining;
 pub mod qgrams;
+pub mod serve;
 pub mod serving;
 pub mod t1;
 pub mod t2;

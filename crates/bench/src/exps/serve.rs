@@ -1,0 +1,462 @@
+//! Experiment `serve_throughput`: the serving-tier perf baseline.
+//!
+//! Spins up the `dpsc-serve` daemon on a loopback ephemeral port with
+//! two DP-built shards, then drives it with a closed-loop load
+//! generator: `connections` client threads, each replaying a
+//! pre-generated deterministic request stream (Zipf-weighted present
+//! patterns mixed with uniform absent probes, seeded via
+//! `dpcore::stream`), in two modes — one request per round-trip
+//! (`closed_loop`) and bursts shipped in a single write (`pipelined`,
+//! which exercises the server's per-connection batching). Results land
+//! in `results/BENCH_serve.json`, the serving-side companion of
+//! `BENCH_build.json`, and CI gates regressions against the committed
+//! baseline via `scripts/check_serve_bench.py`.
+//!
+//! ## Determinism contract
+//! Everything in the artifact except throughput/latency measurements and
+//! cache counters is byte-deterministic for the seed: shard definitions,
+//! snapshot digests, workload digests (FNV-1a per connection, XORed so
+//! thread interleaving cannot matter), and the answers digest. Every
+//! served answer is asserted bit-identical to a local query against the
+//! same snapshot *while the experiment runs* — a digest drift therefore
+//! means the build or the serving path changed behaviour, which the gate
+//! reports louder than a slowdown.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dpsc_dpcore::budget::PrivacyParams;
+use dpsc_dpcore::stream::derive_stream as derive_seed;
+use dpsc_private_count::codec::fnv1a;
+use dpsc_private_count::{build_pure, BuildParams, CountMode, FrozenSynopsis};
+use dpsc_serve::{Client, Request, Response, Server, ServerConfig, ShardManager};
+use dpsc_textindex::CorpusIndex;
+use dpsc_workloads::dna_corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Table;
+
+/// Where the raw perf artifact is written.
+pub const BENCH_PATH: &str = "results/BENCH_serve.json";
+
+/// Base seed: corpora, builds, and every connection's request stream
+/// derive from it.
+const BASE_SEED: u64 = 0x5E12_7EAF;
+
+/// Zipf exponent for the present-pattern mix.
+const ZIPF_S: f64 = 1.1;
+/// Fraction of queries drawn from the present-pattern universe.
+const PRESENT_FRAC: f64 = 0.8;
+/// Requests shipped per write in pipelined mode.
+const BURST: usize = 32;
+
+struct ShardSpec {
+    name: &'static str,
+    shard_id: u32,
+    n: usize,
+    ell: usize,
+    epsilon: f64,
+    tau_frac: f64,
+}
+
+/// Same non-FAIL DP-build regimes as `BENCH_build.json`'s fast tier, so
+/// the two artifacts track the same constructions.
+const SHARDS: [ShardSpec; 2] = [
+    ShardSpec { name: "dna-small", shard_id: 0, n: 1024, ell: 64, epsilon: 20.0, tau_frac: 0.45 },
+    ShardSpec { name: "dna-mid", shard_id: 1, n: 2048, ell: 64, epsilon: 16.0, tau_frac: 0.35 },
+];
+
+/// One FNV-1a fold step for the incremental digests (same constants as
+/// `codec::fnv1a`, lifted to u64 words).
+fn fnv_fold(acc: u64, word: u64) -> u64 {
+    (acc ^ word).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// One built shard: the snapshot, its wire bytes, and the deterministic
+/// present-pattern universe the Zipf mix draws from.
+struct BuiltShard {
+    spec: &'static ShardSpec,
+    frozen: FrozenSynopsis,
+    bytes: Vec<u8>,
+    universe: Vec<Vec<u8>>,
+    universe_digest: u64,
+    snapshot_digest: u64,
+}
+
+fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
+    let mut rng = StdRng::seed_from_u64(derive_seed(BASE_SEED, tag));
+    let corpus = dna_corpus(spec.n, spec.ell, 8, &[0.9, 0.8, 0.7, 0.6, 0.5, 0.4], &mut rng);
+    let idx = CorpusIndex::build(&corpus.db);
+    let tau = spec.tau_frac * spec.n as f64;
+    let params = BuildParams::new(CountMode::Document, PrivacyParams::pure(spec.epsilon), 0.1)
+        .with_thresholds(tau, f64::NEG_INFINITY);
+    let built = build_pure(&idx, &params, &mut rng)
+        .expect("benchmark regimes are tuned to avoid the FAIL branch");
+    let frozen = built.freeze();
+    let bytes = frozen.to_bytes();
+    let snapshot_digest = fnv1a(&bytes);
+
+    // Deterministic present-pattern universe: short substrings of the
+    // corpus documents, first-seen order, capped. Rank order is what the
+    // Zipf sampler weights, so it is part of the workload definition.
+    let mut universe: Vec<Vec<u8>> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    'outer: for doc in corpus.db.documents() {
+        for (start, len) in [(0usize, 3usize), (1, 4), (2, 6), (0, 8)] {
+            if doc.len() >= start + len {
+                let pat = doc[start..start + len].to_vec();
+                if seen.insert(pat.clone()) {
+                    universe.push(pat);
+                    if universe.len() >= 512 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let mut universe_digest = 0xCBF2_9CE4_8422_2325u64;
+    for p in &universe {
+        universe_digest = fnv_fold(universe_digest, fnv1a(p));
+    }
+    BuiltShard { spec, frozen, bytes, universe, universe_digest, snapshot_digest }
+}
+
+/// Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..*self.cdf.last().expect("non-empty universe"));
+        self.cdf.partition_point(|&c| c <= u)
+    }
+}
+
+/// The full pre-generated workload of one connection: requests plus the
+/// locally computed expected answers (the served answers are asserted
+/// bit-identical during the run).
+struct ConnWorkload {
+    requests: Vec<Request>,
+    expected: Vec<Vec<f64>>,
+    /// FNV-1a over (shard, patterns) in stream order.
+    workload_digest: u64,
+    /// FNV-1a over expected answer bits in stream order.
+    answers_digest: u64,
+    queries: usize,
+}
+
+fn generate_workload(
+    conn: u64,
+    requests: usize,
+    batch: usize,
+    shards: &[BuiltShard],
+    zipfs: &[Zipf],
+) -> ConnWorkload {
+    let mut rng = StdRng::seed_from_u64(derive_seed(BASE_SEED, 0x0100 + conn));
+    let mut reqs = Vec::with_capacity(requests);
+    let mut expected = Vec::with_capacity(requests);
+    let mut wd = 0xCBF2_9CE4_8422_2325u64;
+    let mut ad = 0xCBF2_9CE4_8422_2325u64;
+    let mut queries = 0usize;
+    for _ in 0..requests {
+        let si = rng.gen_range(0..shards.len());
+        let shard = &shards[si];
+        let mut patterns = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let pat: Vec<u8> = if rng.gen_bool(PRESENT_FRAC) {
+                shard.universe[zipfs[si].sample(&mut rng)].clone()
+            } else {
+                let len = rng.gen_range(2..10usize);
+                (0..len).map(|_| rng.gen_range(b'0'..=b'9')).collect()
+            };
+            wd = fnv_fold(wd, fnv1a(&pat) ^ shard.spec.shard_id as u64);
+            patterns.push(pat);
+        }
+        let answers: Vec<f64> = patterns.iter().map(|p| shard.frozen.query(p)).collect();
+        for a in &answers {
+            ad = fnv_fold(ad, a.to_bits());
+        }
+        queries += patterns.len();
+        reqs.push(Request::QueryBatch { shard: shard.spec.shard_id, patterns });
+        expected.push(answers);
+    }
+    ConnWorkload { requests: reqs, expected, workload_digest: wd, answers_digest: ad, queries }
+}
+
+/// Per-mode measurements over one replay of every connection's stream.
+#[derive(Clone, Copy, Default)]
+struct ModeTimes {
+    elapsed_ns: u128,
+    qps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u128], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / 1e3
+}
+
+/// Replays every connection's stream against the daemon, one request per
+/// round-trip (`burst == 1`) or in pipelined bursts, asserting every
+/// answer bit-identical to the precomputed expectation.
+fn replay(addr: std::net::SocketAddr, workloads: &[ConnWorkload], burst: usize) -> ModeTimes {
+    let total_queries: usize = workloads.iter().map(|w| w.queries).sum();
+    let latencies: Vec<std::sync::Mutex<Vec<u128>>> =
+        workloads.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (w, lat) in workloads.iter().zip(&latencies) {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("load generator connects");
+                let mut lats = Vec::with_capacity(w.requests.len());
+                for (chunk, exp_chunk) in w.requests.chunks(burst).zip(w.expected.chunks(burst)) {
+                    let t = Instant::now();
+                    let responses = if chunk.len() == 1 {
+                        vec![client.call(&chunk[0]).expect("request answered")]
+                    } else {
+                        client.pipeline(chunk).expect("burst answered")
+                    };
+                    let per_req = t.elapsed().as_nanos() / chunk.len() as u128;
+                    for (resp, exp) in responses.iter().zip(exp_chunk) {
+                        match resp {
+                            Response::QueryBatch { values } => {
+                                assert_eq!(values.len(), exp.len());
+                                for (v, e) in values.iter().zip(exp) {
+                                    assert_eq!(
+                                        v.to_bits(),
+                                        e.to_bits(),
+                                        "served answer drifted from the local synopsis"
+                                    );
+                                }
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                        lats.push(per_req);
+                    }
+                }
+                *lat.lock().expect("latency mutex not poisoned") = lats;
+            });
+        }
+    });
+    let elapsed_ns = t0.elapsed().as_nanos();
+    let mut all: Vec<u128> = latencies
+        .iter()
+        .flat_map(|l| l.lock().expect("latency mutex not poisoned").clone())
+        .collect();
+    all.sort_unstable();
+    ModeTimes {
+        elapsed_ns,
+        qps: total_queries as f64 / (elapsed_ns as f64 / 1e9),
+        p50_us: percentile(&all, 0.50),
+        p95_us: percentile(&all, 0.95),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+struct RunResult {
+    connections: usize,
+    requests_per_conn: usize,
+    batch: usize,
+    total_queries: usize,
+    workload_digest: u64,
+    answers_digest: u64,
+    closed_loop: ModeTimes,
+    pipelined: ModeTimes,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn to_json(
+    shards: &[BuiltShard],
+    run: &RunResult,
+    tier: &str,
+    repeats: usize,
+    workers: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"dpsc-bench-serve/v1\",\n");
+    out.push_str(&format!("  \"seed\": {BASE_SEED},\n"));
+    out.push_str(&format!("  \"tier\": \"{tier}\",\n"));
+    out.push_str(&format!("  \"repeats\": {repeats},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!(
+        "  \"hardware_threads\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    ));
+    out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
+    out.push_str(&format!("  \"present_frac\": {PRESENT_FRAC},\n"));
+    out.push_str(
+        "  \"notes\": \"All fields except *_ns/*_us, qps and cache counters are deterministic \
+         for the seed (digests XOR per-connection FNV-1a streams, so thread interleaving cannot \
+         change them). Served answers are asserted bit-identical to local queries at runtime.\",\n",
+    );
+    out.push_str("  \"shards\": [\n");
+    for (i, s) in shards.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", s.spec.name));
+        out.push_str(&format!("      \"shard_id\": {},\n", s.spec.shard_id));
+        out.push_str(&format!("      \"n\": {},\n", s.spec.n));
+        out.push_str(&format!("      \"ell\": {},\n", s.spec.ell));
+        out.push_str(&format!("      \"epsilon\": {},\n", s.spec.epsilon));
+        out.push_str(&format!("      \"node_count\": {},\n", s.frozen.node_count()));
+        out.push_str(&format!("      \"serialized_len\": {},\n", s.bytes.len()));
+        out.push_str(&format!("      \"universe\": {},\n", s.universe.len()));
+        out.push_str(&format!("      \"universe_digest\": \"{:016x}\",\n", s.universe_digest));
+        out.push_str(&format!("      \"snapshot_digest\": \"{:016x}\"\n", s.snapshot_digest));
+        out.push_str(&format!("    }}{}\n", if i + 1 < shards.len() { "," } else { "" }));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"connections\": {},\n", run.connections));
+    out.push_str(&format!("    \"requests_per_conn\": {},\n", run.requests_per_conn));
+    out.push_str(&format!("    \"batch\": {},\n", run.batch));
+    out.push_str(&format!("    \"burst\": {BURST},\n"));
+    out.push_str(&format!("    \"total_queries\": {},\n", run.total_queries));
+    out.push_str(&format!("    \"workload_digest\": \"{:016x}\",\n", run.workload_digest));
+    out.push_str(&format!("    \"answers_digest\": \"{:016x}\"\n", run.answers_digest));
+    out.push_str("  },\n");
+    out.push_str("  \"modes\": [\n");
+    for (i, (name, t)) in
+        [("closed_loop", run.closed_loop), ("pipelined", run.pipelined)].iter().enumerate()
+    {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{name}\", \"elapsed_ns\": {}, \"qps\": {:.0}, \
+             \"latency_p50_us\": {:.1}, \"latency_p95_us\": {:.1}, \"latency_p99_us\": {:.1}}}{}\n",
+            t.elapsed_ns,
+            t.qps,
+            t.p50_us,
+            t.p95_us,
+            t.p99_us,
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"cache_hits\": {},\n", run.cache_hits));
+    out.push_str(&format!("  \"cache_misses\": {}\n", run.cache_misses));
+    out.push_str("}\n");
+    out
+}
+
+/// Runs the load generator, persists [`BENCH_PATH`], and tabulates the
+/// two serving modes.
+pub fn serve_throughput() -> Table {
+    let full = std::env::var("DPSC_SERVE_FULL").map(|v| v == "1").unwrap_or(false);
+    let (tier, repeats, connections, requests_per_conn, batch) =
+        if full { ("full", 3, 8, 1200, 16) } else { ("fast", 2, 4, 600, 16) };
+    // Each worker owns one connection for its lifetime, so the pool must
+    // match the generator's concurrency or queued connections would record
+    // wave-sized latencies.
+    let workers = connections;
+
+    // ---- Build the shards and the deterministic workloads -----------------
+    let shards: Vec<BuiltShard> =
+        SHARDS.iter().enumerate().map(|(i, s)| build_shard(s, i as u64 + 1)).collect();
+    let zipfs: Vec<Zipf> = shards.iter().map(|s| Zipf::new(s.universe.len(), ZIPF_S)).collect();
+    let workloads: Vec<ConnWorkload> = (0..connections)
+        .map(|c| generate_workload(c as u64, requests_per_conn, batch, &shards, &zipfs))
+        .collect();
+    let workload_digest = workloads.iter().fold(0u64, |acc, w| acc ^ w.workload_digest);
+    let answers_digest = workloads.iter().fold(0u64, |acc, w| acc ^ w.answers_digest);
+    let total_queries: usize = workloads.iter().map(|w| w.queries).sum();
+
+    // ---- Daemon up, snapshots shipped over the wire -----------------------
+    let manager = Arc::new(ShardManager::new());
+    let handle =
+        Server::spawn(ServerConfig { workers, ..ServerConfig::default() }, Arc::clone(&manager))
+            .expect("daemon binds a loopback port");
+    let addr = handle.addr();
+    {
+        let mut admin = Client::connect(addr).expect("admin connects");
+        for s in &shards {
+            admin.load_snapshot(s.spec.shard_id, &s.bytes).expect("snapshot loads");
+        }
+    }
+
+    // ---- Measure both modes, best-of-repeats ------------------------------
+    let mut closed_loop = ModeTimes::default();
+    let mut pipelined = ModeTimes::default();
+    for rep in 0..repeats {
+        let cl = replay(addr, &workloads, 1);
+        let pl = replay(addr, &workloads, BURST);
+        if rep == 0 || cl.qps > closed_loop.qps {
+            closed_loop = cl;
+        }
+        if rep == 0 || pl.qps > pipelined.qps {
+            pipelined = pl;
+        }
+    }
+    let (cache_hits, cache_misses) = {
+        let mut admin = Client::connect(addr).expect("admin reconnects");
+        let stats = admin.stats().expect("stats answered");
+        (stats.cache.hits, stats.cache.misses)
+    };
+    handle.shutdown();
+
+    let run = RunResult {
+        connections,
+        requests_per_conn,
+        batch,
+        total_queries,
+        workload_digest,
+        answers_digest,
+        closed_loop,
+        pipelined,
+        cache_hits,
+        cache_misses,
+    };
+
+    std::fs::create_dir_all("results").ok();
+    if let Err(e) = std::fs::write(BENCH_PATH, to_json(&shards, &run, tier, repeats, workers)) {
+        eprintln!("[serve_throughput] failed writing {BENCH_PATH}: {e}");
+    }
+
+    // NB: table id must differ from BENCH_PATH's stem (the experiments
+    // binary writes every table to results/<id>.json).
+    let mut t = Table::new(
+        "serve_throughput",
+        "Serving daemon: closed-loop vs pipelined load over the wire protocol",
+        &["mode", "connections", "queries", "queries/s", "p50 µs", "p95 µs", "p99 µs"],
+    );
+    for (name, m) in [("closed_loop", run.closed_loop), ("pipelined", run.pipelined)] {
+        t.row(vec![
+            name.to_string(),
+            connections.to_string(),
+            total_queries.to_string(),
+            format!("{:.0}", m.qps),
+            format!("{:.1}", m.p50_us),
+            format!("{:.1}", m.p95_us),
+            format!("{:.1}", m.p99_us),
+        ]);
+    }
+    t.note(format!(
+        "tier = {tier}, repeats = {repeats} (best kept), {workers} server workers, batch = \
+         {batch} patterns/request, pipelined bursts of {BURST} requests. Zipf(s = {ZIPF_S}) \
+         present mix ({:.0}%), digests deterministic; raw artifact: {BENCH_PATH}.",
+        PRESENT_FRAC * 100.0
+    ));
+    t.note(format!(
+        "cache after run: {} hits / {} misses; every served answer asserted bit-identical to \
+         the local synopsis.",
+        run.cache_hits, run.cache_misses
+    ));
+    t
+}

@@ -34,6 +34,7 @@
 pub mod baseline;
 pub mod builder;
 pub mod candidates;
+pub mod codec;
 pub mod mining;
 pub mod pipeline;
 pub mod qgram;
@@ -44,6 +45,7 @@ pub mod synopsis;
 pub use baseline::{build_simple_trie, SimpleTrieParams};
 pub use builder::{build_approx, build_pure, BuildError, BuildParams};
 pub use candidates::{CandidateOverflow, CandidateParams, CandidateSet};
+pub use codec::DecodeError;
 pub use mining::{evaluate_mining, frequent_substrings, MiningEvaluation};
 pub use qgram::{build_qgram_pure, QgramParams};
 pub use qgram_fast::{build_qgram_fast, FastQgramParams, PhaseOverflow};

@@ -21,6 +21,7 @@
 use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_strkit::trie::Trie;
 
+use crate::codec::{fnv1a, Cursor, DecodeError};
 use crate::structure::{CountMode, PrivateCountStructure};
 
 /// Magic bytes opening the binary format ("DP Synopsis, Frozen").
@@ -268,16 +269,16 @@ impl FrozenSynopsis {
     /// are canonical: `from_bytes(b)?.to_bytes() == b`.
     ///
     /// # Errors
-    /// A description of the first defect found.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
-        let mut cur = Cursor { buf: bytes, pos: 0 };
-        let magic = cur.take(4)?;
+    /// A [`DecodeError`] describing the first defect found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut cur = Cursor::new(bytes);
+        let magic: [u8; 4] = cur.take(4)?.try_into().expect("4-byte magic");
         if magic != MAGIC {
-            return Err(format!("bad magic {magic:02x?} (expected {MAGIC:02x?})"));
+            return Err(DecodeError::BadMagic { found: magic, expected: MAGIC });
         }
         let version = cur.u16()?;
         if version != VERSION {
-            return Err(format!("unsupported format version {version} (expected {VERSION})"));
+            return Err(DecodeError::UnsupportedVersion { found: version, expected: VERSION });
         }
         let tag = cur.u8()?;
         let clip = cur.u64()?;
@@ -286,26 +287,34 @@ impl FrozenSynopsis {
             // tag 2; any other encoding must use zero so that equal
             // synopses have exactly one byte representation.
             0 | 1 if clip != 0 => {
-                return Err(format!("nonzero clip level {clip} with mode tag {tag}"));
+                return Err(DecodeError::BadField {
+                    field: "clip level",
+                    detail: format!("nonzero clip level {clip} with mode tag {tag}"),
+                });
             }
             0 => CountMode::Document,
             1 => CountMode::Substring,
             2 => {
-                let d = usize::try_from(clip).map_err(|_| "clip level overflows usize")?;
+                let d = usize::try_from(clip).map_err(|_| DecodeError::SizeOverflow)?;
                 CountMode::Clipped(d)
             }
-            other => return Err(format!("bad mode tag {other}")),
+            other => {
+                return Err(DecodeError::BadField {
+                    field: "mode tag",
+                    detail: format!("unknown tag {other}"),
+                })
+            }
         };
         let epsilon = cur.f64()?;
         let delta = cur.f64()?;
         if !(epsilon.is_finite() && epsilon > 0.0) {
-            return Err(format!("bad epsilon {epsilon}"));
+            return Err(DecodeError::BadField { field: "epsilon", detail: epsilon.to_string() });
         }
         // `-0.0` would satisfy a plain range check but re-serialize as
         // `+0.0` (PrivacyParams::pure normalizes it), breaking
         // canonicality — reject the sign bit explicitly.
         if delta.is_sign_negative() || !((0.0..1.0).contains(&delta)) {
-            return Err(format!("bad delta {delta}"));
+            return Err(DecodeError::BadField { field: "delta", detail: delta.to_string() });
         }
         let alpha_counts = cur.f64()?;
         let alpha_absent = cur.f64()?;
@@ -314,10 +323,16 @@ impl FrozenSynopsis {
         let n_nodes = cur.usize64()?;
         let n_edges = cur.usize64()?;
         if n_nodes == 0 {
-            return Err("node count is zero (the root is mandatory)".to_string());
+            return Err(DecodeError::BadField {
+                field: "node count",
+                detail: "zero (the root is mandatory)".to_string(),
+            });
         }
         if n_edges != n_nodes - 1 {
-            return Err(format!("edge count {n_edges} != node count {n_nodes} - 1"));
+            return Err(DecodeError::BadField {
+                field: "edge count",
+                detail: format!("{n_edges} != node count {n_nodes} - 1"),
+            });
         }
         // Validate the declared payload against the real input length before
         // allocating anything: a corrupt size field must not OOM us (and the
@@ -327,21 +342,23 @@ impl FrozenSynopsis {
             .and_then(|a| n_nodes.checked_add(1)?.checked_mul(4)?.checked_add(a))
             .and_then(|a| n_edges.checked_mul(5)?.checked_add(a))
             .and_then(|a| a.checked_add(8))
-            .ok_or("declared sizes overflow")?;
-        let remaining = bytes.len() - cur.pos;
+            .ok_or(DecodeError::SizeOverflow)?;
+        let remaining = cur.remaining();
         if remaining < payload {
-            return Err(format!("truncated input: {remaining} bytes after header, need {payload}"));
+            return Err(DecodeError::Truncated {
+                offset: cur.pos(),
+                need: payload,
+                have: remaining,
+            });
         }
         if remaining > payload {
-            return Err(format!("trailing garbage: {} extra bytes", remaining - payload));
+            return Err(DecodeError::TrailingGarbage { extra: remaining - payload });
         }
         let declared =
             u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8-byte checksum slice"));
         let actual = fnv1a(&bytes[..bytes.len() - 8]);
         if declared != actual {
-            return Err(format!(
-                "checksum mismatch: stored {declared:016x}, computed {actual:016x}"
-            ));
+            return Err(DecodeError::ChecksumMismatch { stored: declared, computed: actual });
         }
         let counts: Vec<f64> = cur.take(8 * n_nodes)?.chunks_exact(8).map(le_f64).collect();
         let edge_start: Vec<u32> =
@@ -352,24 +369,30 @@ impl FrozenSynopsis {
         // Structural validation: the arrays must describe a tree the query
         // path can walk without bounds panics.
         if edge_start[0] != 0 || edge_start[n_nodes] as usize != n_edges {
-            return Err("CSR offsets do not span the edge arrays".to_string());
+            return Err(DecodeError::Structural("CSR offsets do not span the edge arrays".into()));
         }
         let mut incoming = vec![false; n_nodes];
         for v in 0..n_nodes {
             let (lo, hi) = (edge_start[v] as usize, edge_start[v + 1] as usize);
             if lo > hi {
-                return Err(format!("CSR offsets decrease at node {v}"));
+                return Err(DecodeError::Structural(format!("CSR offsets decrease at node {v}")));
             }
             for e in lo..hi {
                 if e > lo && edge_label[e - 1] >= edge_label[e] {
-                    return Err(format!("edge labels of node {v} are not strictly sorted"));
+                    return Err(DecodeError::Structural(format!(
+                        "edge labels of node {v} are not strictly sorted"
+                    )));
                 }
                 let t = edge_target[e] as usize;
                 if t == 0 || t >= n_nodes {
-                    return Err(format!("edge target {t} out of range at node {v}"));
+                    return Err(DecodeError::Structural(format!(
+                        "edge target {t} out of range at node {v}"
+                    )));
                 }
                 if incoming[t] {
-                    return Err(format!("node {t} has two incoming edges"));
+                    return Err(DecodeError::Structural(format!(
+                        "node {t} has two incoming edges"
+                    )));
                 }
                 incoming[t] = true;
             }
@@ -386,7 +409,10 @@ impl FrozenSynopsis {
             }
         }
         if reachable != n_nodes {
-            return Err(format!("{} nodes unreachable from the root", n_nodes - reachable));
+            return Err(DecodeError::Structural(format!(
+                "{} nodes unreachable from the root",
+                n_nodes - reachable
+            )));
         }
         let privacy = if delta == 0.0 {
             PrivacyParams::pure(epsilon)
@@ -416,19 +442,6 @@ impl PrivateCountStructure {
     }
 }
 
-/// FNV-1a 64-bit over `bytes` — the integrity checksum of the binary
-/// format. Not cryptographic; it detects accidental corruption (the
-/// synopsis itself is public data, so tampering is not in the threat
-/// model).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 #[inline]
 fn le_u32(b: &[u8]) -> u32 {
     u32::from_le_bytes(b.try_into().expect("4-byte chunk"))
@@ -437,47 +450,6 @@ fn le_u32(b: &[u8]) -> u32 {
 #[inline]
 fn le_f64(b: &[u8]) -> f64 {
     f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte chunk")))
-}
-
-/// Length-checked reader over the input buffer.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.buf.len() - self.pos < n {
-            return Err(format!(
-                "truncated input: need {n} bytes at offset {}, have {}",
-                self.pos,
-                self.buf.len() - self.pos
-            ));
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2-byte read")))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte read")))
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn usize64(&mut self) -> Result<usize, String> {
-        usize::try_from(self.u64()?).map_err(|_| "64-bit size overflows usize".to_string())
-    }
 }
 
 #[cfg(test)]
@@ -585,10 +557,16 @@ mod tests {
         let bytes = toy_structure().freeze().to_bytes();
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
-        assert!(FrozenSynopsis::from_bytes(&wrong_magic).unwrap_err().contains("magic"));
+        assert!(FrozenSynopsis::from_bytes(&wrong_magic)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
         let mut wrong_version = bytes.clone();
         wrong_version[4] = 99;
-        assert!(FrozenSynopsis::from_bytes(&wrong_version).unwrap_err().contains("version"));
+        assert!(FrozenSynopsis::from_bytes(&wrong_version)
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
     }
 
     /// Overwrites `bytes[range]` with `patch` and re-stamps the checksum,
@@ -610,7 +588,7 @@ mod tests {
         let clip_offset = 4 + 2 + 1; // magic + version + tag
         let forged = patch_and_restamp(&bytes, clip_offset, &5u64.to_le_bytes());
         let err = FrozenSynopsis::from_bytes(&forged).unwrap_err();
-        assert!(err.contains("clip"), "unexpected error: {err}");
+        assert!(err.to_string().contains("clip"), "unexpected error: {err}");
         // The same patch on a Clipped-mode synopsis is meaningful and fine.
         let mut trie: Trie<f64> = Trie::new(1.0);
         trie.insert_path(b"x", |_| 0.5);
@@ -639,7 +617,7 @@ mod tests {
         let delta_offset = 4 + 2 + 1 + 8 + 8; // magic + version + tag + clip + ε
         let forged = patch_and_restamp(&bytes, delta_offset, &(-0.0f64).to_bits().to_le_bytes());
         let err = FrozenSynopsis::from_bytes(&forged).unwrap_err();
-        assert!(err.contains("delta"), "unexpected error: {err}");
+        assert!(err.to_string().contains("delta"), "unexpected error: {err}");
     }
 
     #[test]
@@ -657,7 +635,7 @@ mod tests {
             ..good
         };
         let err = FrozenSynopsis::from_bytes(&cyclic.to_bytes()).unwrap_err();
-        assert!(err.contains("unreachable"), "unexpected error: {err}");
+        assert!(err.to_string().contains("unreachable"), "unexpected error: {err}");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Blocking client for the serving daemon.
+//!
+//! [`Client`] wraps one TCP connection and offers a typed method per
+//! request kind plus [`Client::pipeline`], which ships many requests in
+//! one write and reads the responses back in order — that is the path
+//! that exercises the server's per-connection batching (the server
+//! drains all pipelined frames in one round and answers them against a
+//! single pinned snapshot per shard).
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dpsc_private_count::codec::DecodeError;
+
+use crate::wire::{decode_response, encode_request, Request, Response, ServerStats, MAX_FRAME_LEN};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not decode as a response frame.
+    Decode(DecodeError),
+    /// The server answered with an error response.
+    Server(String),
+    /// The server answered with a well-formed response of the wrong kind.
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Decode(e) => write!(f, "protocol decode error: {e}"),
+            Self::Server(msg) => write!(f, "server error: {msg}"),
+            Self::UnexpectedResponse(what) => write!(f, "unexpected response (wanted {what})"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+/// One blocking connection to a [`crate::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, since the protocol is
+    /// request/response sized well below the MTU).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Reads exactly one response frame.
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut len_bytes = [0u8; 4];
+        self.stream.read_exact(&mut len_bytes)?;
+        let body_len = u32::from_le_bytes(len_bytes) as usize;
+        if body_len > MAX_FRAME_LEN {
+            return Err(ClientError::Decode(DecodeError::BadField {
+                field: "frame length",
+                detail: format!("{body_len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+            }));
+        }
+        let mut body = vec![0u8; body_len];
+        self.stream.read_exact(&mut body)?;
+        Ok(decode_response(&body)?)
+    }
+
+    /// One request, one response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.stream.write_all(&encode_request(req))?;
+        self.read_response()
+    }
+
+    /// Ships `requests` back-to-back and reads the responses in order.
+    /// The server drains each burst in one batched round (single snapshot
+    /// pin per shard, single response flush).
+    ///
+    /// Writes are flushed — and their responses drained — every ~32 KiB
+    /// rather than all at once: with both directions buffered in the
+    /// kernel, writing an unbounded burst before reading anything can
+    /// deadlock once the server blocks flushing answers we are not yet
+    /// reading. Bounding the unread-response backlog keeps arbitrarily
+    /// large bursts safe.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ClientError> {
+        const CHUNK_BYTES: usize = 32 * 1024;
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut buf: Vec<u8> = Vec::new();
+        let mut pending = 0usize;
+        for req in requests {
+            buf.extend_from_slice(&encode_request(req));
+            pending += 1;
+            if buf.len() >= CHUNK_BYTES {
+                self.stream.write_all(&buf)?;
+                buf.clear();
+                for _ in 0..pending {
+                    responses.push(self.read_response()?);
+                }
+                pending = 0;
+            }
+        }
+        if !buf.is_empty() {
+            self.stream.write_all(&buf)?;
+        }
+        for _ in 0..pending {
+            responses.push(self.read_response()?);
+        }
+        Ok(responses)
+    }
+
+    /// Noisy count for `pattern` on `shard` — bit-identical to a local
+    /// `FrozenSynopsis::query` against the shard's resident snapshot.
+    pub fn query(&mut self, shard: u32, pattern: &[u8]) -> Result<f64, ClientError> {
+        match self.call(&Request::Query { shard, pattern: pattern.to_vec() })? {
+            Response::Query { value } => Ok(value),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("Query")),
+        }
+    }
+
+    /// Batched counts on one shard; `values[i]` answers `patterns[i]`,
+    /// all from a single epoch.
+    pub fn query_batch(&mut self, shard: u32, patterns: &[&[u8]]) -> Result<Vec<f64>, ClientError> {
+        let req =
+            Request::QueryBatch { shard, patterns: patterns.iter().map(|p| p.to_vec()).collect() };
+        match self.call(&req)? {
+            Response::QueryBatch { values } => Ok(values),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("QueryBatch")),
+        }
+    }
+
+    /// Whether `pattern` has a node in the shard's synopsis.
+    pub fn contains(&mut self, shard: u32, pattern: &[u8]) -> Result<bool, ClientError> {
+        match self.call(&Request::Contains { shard, pattern: pattern.to_vec() })? {
+            Response::Contains { present } => Ok(present),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("Contains")),
+        }
+    }
+
+    /// Operator stats: per-shard epoch/size/utility bounds + cache counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// Installs (or hot-swaps) `shard` from serialized snapshot bytes;
+    /// returns the new epoch.
+    pub fn load_snapshot(&mut self, shard: u32, snapshot: &[u8]) -> Result<u64, ClientError> {
+        let req = Request::LoadSnapshot { shard, snapshot: snapshot.to_vec() };
+        match self.call(&req)? {
+            Response::LoadSnapshot { epoch, .. } => Ok(epoch),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("LoadSnapshot")),
+        }
+    }
+
+    /// Asks the daemon to exit; consumes the client (the connection is
+    /// closed by the server after the acknowledgement).
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("Shutdown")),
+        }
+    }
+}

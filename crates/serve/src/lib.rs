@@ -1,0 +1,53 @@
+//! # dpsc-serve — the sharded query-serving daemon
+//!
+//! The paper's synopsis is built once under the privacy budget and then
+//! *queried forever*; this crate is the process boundary that makes the
+//! querying side a real service. Everything here is post-processing of
+//! released synopses — no privacy accounting happens at serving time.
+//!
+//! Std-only (no registry dependencies), four layers:
+//!
+//! * [`wire`] — the versioned length-prefixed binary protocol
+//!   (`DPSQ`/`DPSR` frames: magic, LE framing, FNV-1a checksum,
+//!   length-checked decode via the shared
+//!   [`DecodeError`](dpsc_private_count::DecodeError)); request kinds
+//!   `Query`, `QueryBatch`, `Contains`, `Stats`, `LoadSnapshot`,
+//!   `Shutdown`.
+//! * [`shard`] — [`ShardManager`]: corpus-id routing over
+//!   `Arc<ShardSnapshot>` shards with atomic hot swap
+//!   (load → validate → swap; readers pin an `Arc` and never block on a
+//!   swap, every answer comes from exactly one epoch).
+//! * [`cache`] — [`QueryCache`]: a sharded LRU keyed on
+//!   `(shard, epoch, pattern)`, so a hot swap invalidates by
+//!   construction (old epochs become unaddressable) and hits are
+//!   bit-identical to cold walks of the same epoch.
+//! * [`server`] / [`client`] — the scoped-thread TCP daemon with
+//!   per-connection request batching, and the blocking client used by
+//!   the examples, tests, and the `serve_throughput` load generator.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use dpsc_serve::{Client, Server, ServerConfig, ShardManager};
+//!
+//! let manager = Arc::new(ShardManager::new());
+//! let handle = Server::spawn(ServerConfig::default(), Arc::clone(&manager)).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! # let snapshot_bytes: Vec<u8> = Vec::new();
+//! client.load_snapshot(0, &snapshot_bytes).unwrap();
+//! let count = client.query(0, b"acgt").unwrap();
+//! # let _ = count;
+//! client.shutdown_server().unwrap();
+//! handle.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use cache::QueryCache;
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use shard::{ShardManager, ShardSnapshot};
+pub use wire::{CacheStats, Request, Response, ServerStats, ShardStats};

@@ -1,0 +1,397 @@
+//! The TCP serving daemon: a scoped-thread worker pool answering wire
+//! frames over [`ShardManager`] shards with per-connection request
+//! batching and the epoch-keyed [`QueryCache`].
+//!
+//! ## Architecture
+//! One acceptor (the thread that called [`Server::run`]) hands accepted
+//! connections to `workers` pool threads through an mpsc channel; each
+//! worker owns one connection at a time for its whole lifetime. Inside a
+//! connection the worker *pipelines*: it blocks for the first complete
+//! frame, then opportunistically drains every further byte the client
+//! has already sent (non-blocking reads into the connection buffer),
+//! decodes all complete frames, answers them in order against snapshots
+//! pinned once per drain round, and flushes all responses in a single
+//! write. A client that ships 50 requests back-to-back pays one syscall
+//! round instead of 50.
+//!
+//! ## Consistency invariant
+//! For each drain round the worker pins at most one [`ShardSnapshot`]
+//! per shard id (first use pins it; a `LoadSnapshot` in the middle of a
+//! round un-pins, so later requests see the new epoch). Every individual
+//! request — in particular every `QueryBatch` — is therefore answered
+//! from exactly one epoch: a hot swap never produces a blended answer.
+//! Cache entries are keyed by the pinned snapshot's epoch, so a hit can
+//! only ever return bytes the same epoch's synopsis produced.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::cache::QueryCache;
+use crate::shard::{ShardManager, ShardSnapshot};
+use crate::wire::{
+    decode_request, encode_response, frame_len, CacheStats, Request, Response, ServerStats,
+};
+
+/// Tuning knobs for [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time). Clamped to
+    /// at least 1.
+    pub workers: usize,
+    /// Total query-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), workers: 4, cache_capacity: 8192 }
+    }
+}
+
+/// The serving daemon. Bind with [`Server::bind`], then either block the
+/// current thread in [`Server::run`] or detach with [`Server::spawn`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    manager: Arc<ShardManager>,
+    cache: QueryCache,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a daemon detached via [`Server::spawn`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The daemon's bound address (resolved ephemeral port included).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the daemon and joins its threads: sets the shutdown flag,
+    /// wakes the acceptor with a throwaway connection, and waits for the
+    /// worker pool to drain.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the acceptor
+        let _ = self.join.join();
+    }
+}
+
+impl Server {
+    /// Binds the listener (no threads yet).
+    pub fn bind(config: ServerConfig, manager: Arc<ShardManager>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            manager,
+            cache: QueryCache::new(config.cache_capacity),
+            workers: config.workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop on the calling thread and the worker pool on
+    /// scoped threads; returns after shutdown (via a `Shutdown` frame or
+    /// a [`ServerHandle`]). Worker threads borrow the server state
+    /// directly — the scope guarantees they end before `run` returns.
+    pub fn run(&self) {
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop(&rx));
+            }
+            for conn in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        // Send fails only if all workers exited (shutdown).
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx); // workers drain the queue, then see Err and exit
+        });
+    }
+
+    /// Binds and detaches the daemon onto a background thread.
+    pub fn spawn(
+        config: ServerConfig,
+        manager: Arc<ShardManager>,
+    ) -> std::io::Result<ServerHandle> {
+        let server = Self::bind(config, manager)?;
+        let addr = server.local_addr();
+        let shutdown = Arc::clone(&server.shutdown);
+        let join = std::thread::spawn(move || server.run());
+        Ok(ServerHandle { addr, shutdown, join })
+    }
+
+    fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>) {
+        loop {
+            let stream = {
+                let guard = rx.lock().expect("connection queue not poisoned");
+                guard.recv()
+            };
+            match stream {
+                Ok(stream) => self.handle_connection(stream),
+                Err(_) => return, // acceptor gone: shutdown
+            }
+        }
+    }
+
+    /// Serves one connection to completion (client close, shutdown, or a
+    /// fatal framing/IO error).
+    fn handle_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        // A finite read timeout turns blocking reads into shutdown polls.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        // A bounded write timeout keeps a client that stops *reading* from
+        // wedging this worker forever on a full send buffer (write_all
+        // failing with TimedOut/WouldBlock drops the connection below),
+        // which would otherwise also hang ServerHandle::shutdown's join.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let mut stream = stream;
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
+        let mut out: Vec<u8> = Vec::with_capacity(4096);
+        let mut peer_closed = false;
+
+        'conn: loop {
+            // Phase 1: block (in timeout slices) until one complete frame.
+            loop {
+                match frame_len(&buf) {
+                    Err(_) => break 'conn, // corrupt length: unrecoverable stream
+                    Ok(Some(_)) => break,
+                    Ok(None) => {
+                        if peer_closed || self.shutdown.load(Ordering::SeqCst) {
+                            break 'conn;
+                        }
+                        match read_chunk(&mut stream, &mut buf) {
+                            ReadOutcome::Data => {}
+                            ReadOutcome::WouldBlock => {}
+                            ReadOutcome::Closed => peer_closed = true,
+                            ReadOutcome::Fatal => break 'conn,
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: drain whatever else the client already sent, up to
+            // a bounded backlog. The bound matters: on a fast link a
+            // client that pipelines non-stop would otherwise keep this
+            // loop in `Data` forever and grow `buf` without limit (the
+            // per-frame cap bounds one frame, not the connection buffer).
+            // Whatever stays unread waits in the kernel buffer — TCP
+            // backpressure — for the next round.
+            const DRAIN_CAP: usize = 4 << 20;
+            if !peer_closed && stream.set_nonblocking(true).is_ok() {
+                while buf.len() < DRAIN_CAP {
+                    match read_chunk(&mut stream, &mut buf) {
+                        ReadOutcome::Data => {}
+                        ReadOutcome::WouldBlock => break,
+                        ReadOutcome::Closed => {
+                            peer_closed = true;
+                            break;
+                        }
+                        ReadOutcome::Fatal => break 'conn,
+                    }
+                }
+                let _ = stream.set_nonblocking(false);
+            }
+
+            // Phase 3: decode every complete frame in the buffer.
+            let mut requests: Vec<Result<Request, String>> = Vec::new();
+            let mut consumed = 0usize;
+            loop {
+                match frame_len(&buf[consumed..]) {
+                    Err(e) => {
+                        // Unrecoverable: answer what we have plus the error,
+                        // then drop the connection.
+                        requests.push(Err(e.to_string()));
+                        consumed = buf.len();
+                        peer_closed = true;
+                        break;
+                    }
+                    Ok(None) => break,
+                    Ok(Some(total)) => {
+                        let body = &buf[consumed + 4..consumed + total];
+                        requests.push(decode_request(body).map_err(|e| e.to_string()));
+                        consumed += total;
+                    }
+                }
+            }
+            buf.drain(..consumed);
+
+            // Phase 4: answer the whole round, pinning one snapshot per
+            // shard, and flush in a single write.
+            let mut pinned: HashMap<u32, Option<Arc<ShardSnapshot>>> = HashMap::new();
+            out.clear();
+            let mut stop_after_flush = false;
+            for req in requests {
+                let resp = match req {
+                    Err(message) => Response::Error { message },
+                    Ok(req) => {
+                        if matches!(req, Request::Shutdown) {
+                            stop_after_flush = true;
+                        }
+                        self.answer(req, &mut pinned)
+                    }
+                };
+                out.extend_from_slice(&encode_response(&resp));
+            }
+            if !out.is_empty() && stream.write_all(&out).is_err() {
+                break 'conn;
+            }
+            if stop_after_flush {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor so `run` can return.
+                let _ = TcpStream::connect(self.local_addr);
+                break 'conn;
+            }
+            if peer_closed && buf.is_empty() {
+                break 'conn;
+            }
+        }
+    }
+
+    /// Answers one request. `pinned` caches the snapshot per shard for
+    /// the current drain round (see the module docs for the invariant).
+    fn answer(
+        &self,
+        req: Request,
+        pinned: &mut HashMap<u32, Option<Arc<ShardSnapshot>>>,
+    ) -> Response {
+        let manager = &self.manager;
+        let pin = |shard: u32,
+                   pinned: &mut HashMap<u32, Option<Arc<ShardSnapshot>>>|
+         -> Option<Arc<ShardSnapshot>> {
+            pinned.entry(shard).or_insert_with(|| manager.snapshot(shard)).clone()
+        };
+        match req {
+            Request::Query { shard, pattern } => match pin(shard, pinned) {
+                None => unknown_shard(shard),
+                Some(snap) => Response::Query { value: self.cached_query(shard, &snap, &pattern) },
+            },
+            Request::QueryBatch { shard, patterns } => match pin(shard, pinned) {
+                None => unknown_shard(shard),
+                Some(snap) => Response::QueryBatch {
+                    values: patterns.iter().map(|p| self.cached_query(shard, &snap, p)).collect(),
+                },
+            },
+            Request::Contains { shard, pattern } => match pin(shard, pinned) {
+                None => unknown_shard(shard),
+                Some(snap) => Response::Contains { present: snap.synopsis.contains(&pattern) },
+            },
+            Request::Stats => {
+                let shards = self.manager.stats();
+                // Stats is the one response without a payload-derived
+                // bound; past ~2M shard records (~92 bytes each) the
+                // frame would trip `seal`'s MAX_FRAME_LEN invariant and
+                // panic the worker — answer with an error instead.
+                const MAX_STATS_SHARDS: usize = 1 << 21;
+                if shards.len() > MAX_STATS_SHARDS {
+                    return Response::Error {
+                        message: format!(
+                            "{} shards exceed the {MAX_STATS_SHARDS}-record Stats frame limit",
+                            shards.len()
+                        ),
+                    };
+                }
+                Response::Stats(ServerStats {
+                    cache: CacheStats {
+                        hits: self.cache.hits(),
+                        misses: self.cache.misses(),
+                        entries: self.cache.entries() as u64,
+                        capacity: self.cache.capacity() as u64,
+                    },
+                    shards,
+                })
+            }
+            Request::LoadSnapshot { shard, snapshot } => {
+                match self.manager.load_snapshot(shard, &snapshot) {
+                    Ok(snap) => {
+                        // Later requests in this round must see the new
+                        // epoch: drop the stale pin.
+                        pinned.remove(&shard);
+                        Response::LoadSnapshot {
+                            epoch: snap.epoch,
+                            node_count: snap.synopsis.node_count() as u64,
+                        }
+                    }
+                    Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
+                }
+            }
+            Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    /// One pattern against one pinned snapshot, through the cache. The
+    /// cache key carries the snapshot's epoch, so hits are always values
+    /// this exact synopsis produced — bit-identical to a cold walk.
+    fn cached_query(&self, shard: u32, snap: &ShardSnapshot, pattern: &[u8]) -> f64 {
+        if let Some(v) = self.cache.get(shard, snap.epoch, pattern) {
+            return v;
+        }
+        let v = snap.synopsis.query(pattern);
+        self.cache.insert(shard, snap.epoch, pattern, v);
+        v
+    }
+}
+
+fn unknown_shard(shard: u32) -> Response {
+    Response::Error { message: format!("unknown shard {shard}") }
+}
+
+enum ReadOutcome {
+    /// ≥1 byte appended to the buffer.
+    Data,
+    /// Nothing available right now (timeout or `WouldBlock`).
+    WouldBlock,
+    /// Orderly EOF from the peer.
+    Closed,
+    /// Unrecoverable IO error.
+    Fatal,
+}
+
+/// One `read` into `buf`'s tail, classifying the result.
+fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
+    let mut chunk = [0u8; 16 * 1024];
+    match stream.read(&mut chunk) {
+        Ok(0) => ReadOutcome::Closed,
+        Ok(n) => {
+            buf.extend_from_slice(&chunk[..n]);
+            ReadOutcome::Data
+        }
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            ReadOutcome::WouldBlock
+        }
+        Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
+        Err(_) => ReadOutcome::Fatal,
+    }
+}

@@ -1,0 +1,716 @@
+//! The versioned binary wire protocol spoken between [`crate::Server`]
+//! and [`crate::Client`].
+//!
+//! Every message is one *frame*: a little-endian `u32` body length
+//! followed by the body. The body follows the same codec discipline as
+//! the `DPSF` snapshot format ([`FrozenSynopsis::to_bytes`]
+//! (dpsc_private_count::FrozenSynopsis::to_bytes)): a 4-byte magic
+//! (`DPSQ` for requests, `DPSR` for responses), a `u16` protocol
+//! version, the opcode/status bytes, the payload, and a trailing FNV-1a
+//! checksum of everything before it. Decoding is defensive throughout —
+//! length-checked reads, a hard frame-size cap *before* any allocation,
+//! checksum verification — and reports defects through the same typed
+//! [`DecodeError`] the snapshot codec uses. Accepted frames are
+//! canonical: decoding then re-encoding reproduces the identical bytes.
+//!
+//! | opcode | request payload | ok-response payload |
+//! |---|---|---|
+//! | 0 `Query` | shard `u32`, pattern (`u32` len + bytes) | count `f64` |
+//! | 1 `QueryBatch` | shard `u32`, count `u32`, patterns | count `u32`, `f64` × count |
+//! | 2 `Contains` | shard `u32`, pattern | present `u8` |
+//! | 3 `Stats` | — | cache stats + per-shard stats (see [`ServerStats`]) |
+//! | 4 `LoadSnapshot` | shard `u32`, `u64` len + `DPSF` bytes | epoch `u64`, node count `u64` |
+//! | 5 `Shutdown` | — | — |
+//!
+//! An error response carries status `1` and a UTF-8 message instead of
+//! the ok payload. Floats travel as IEEE-754 bit patterns, so served
+//! counts round-trip bit-exactly.
+
+use dpsc_private_count::codec::{fnv1a, Cursor, DecodeError};
+
+/// Magic opening every request body ("DP Serve, Query direction").
+pub const MAGIC_REQUEST: [u8; 4] = *b"DPSQ";
+/// Magic opening every response body ("DP Serve, Reply direction").
+pub const MAGIC_RESPONSE: [u8; 4] = *b"DPSR";
+/// Wire protocol version.
+pub const VERSION: u16 = 1;
+/// Hard cap on a frame body (256 MiB — room for a ~15M-node snapshot),
+/// small enough that a corrupt length field cannot OOM the peer (the cap
+/// is enforced before any allocation).
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+/// Hard cap on patterns per `QueryBatch` (and values per response).
+/// Bounds the response size a request can demand: `MAX_BATCH` values of
+/// 8 bytes stay far inside [`MAX_FRAME_LEN`].
+pub const MAX_BATCH: usize = 1 << 20;
+
+/// Opcodes, shared between requests and (echoed in) responses.
+const OP_QUERY: u8 = 0;
+const OP_QUERY_BATCH: u8 = 1;
+const OP_CONTAINS: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_LOAD_SNAPSHOT: u8 = 4;
+const OP_SHUTDOWN: u8 = 5;
+
+/// Response status bytes.
+const STATUS_OK: u8 = 0;
+const STATUS_ERROR: u8 = 1;
+
+/// A request frame, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// One noisy count for `pattern` against shard `shard`.
+    Query {
+        /// Corpus id the query routes to.
+        shard: u32,
+        /// Pattern bytes.
+        pattern: Vec<u8>,
+    },
+    /// Many counts in one round-trip, all answered from a single shard
+    /// epoch (the server pins one snapshot for the whole batch).
+    QueryBatch {
+        /// Corpus id the batch routes to.
+        shard: u32,
+        /// Patterns, answered in order.
+        patterns: Vec<Vec<u8>>,
+    },
+    /// Whether the pattern is represented in the shard's synopsis.
+    Contains {
+        /// Corpus id the probe routes to.
+        shard: u32,
+        /// Pattern bytes.
+        pattern: Vec<u8>,
+    },
+    /// Operator stats: per-shard epoch/size/utility-bound fields plus
+    /// cache counters.
+    Stats,
+    /// Atomically install (or hot-swap) a shard from serialized `DPSF`
+    /// snapshot bytes. Decode + validation happen off the read path.
+    LoadSnapshot {
+        /// Corpus id to install the snapshot under.
+        shard: u32,
+        /// `FrozenSynopsis::to_bytes` payload.
+        snapshot: Vec<u8>,
+    },
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// A response frame, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Query`].
+    Query {
+        /// The noisy count, bit-identical to a local `FrozenSynopsis::query`.
+        value: f64,
+    },
+    /// Answer to [`Request::QueryBatch`]; `values[i]` answers `patterns[i]`.
+    QueryBatch {
+        /// Noisy counts in request order.
+        values: Vec<f64>,
+    },
+    /// Answer to [`Request::Contains`].
+    Contains {
+        /// Whether the pattern has a node in the synopsis.
+        present: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Answer to [`Request::LoadSnapshot`].
+    LoadSnapshot {
+        /// Epoch the new snapshot serves under (strictly increasing).
+        epoch: u64,
+        /// Node count of the installed synopsis.
+        node_count: u64,
+    },
+    /// Acknowledges [`Request::Shutdown`].
+    Shutdown,
+    /// The request could not be served (unknown shard, corrupt
+    /// snapshot, …). Carries a human-readable reason.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Serving-cache counters, part of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to walk the synopsis.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Configured capacity (0 disables the cache).
+    pub capacity: u64,
+}
+
+/// Everything an operator needs to audit one serving shard: identity,
+/// epoch, size on the wire, and the utility bounds of what is actually
+/// being served.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Corpus id this shard serves.
+    pub shard_id: u32,
+    /// Epoch of the resident snapshot.
+    pub epoch: u64,
+    /// Nodes in the resident synopsis.
+    pub node_count: u64,
+    /// Size of the snapshot's canonical `DPSF` encoding in bytes.
+    pub serialized_len: u64,
+    /// Documents in the corpus the synopsis was built from.
+    pub n_docs: u64,
+    /// Declared maximum document length ℓ.
+    pub max_len: u64,
+    /// Privacy budget ε of the construction.
+    pub epsilon: f64,
+    /// Privacy budget δ of the construction (0 for pure DP).
+    pub delta: f64,
+    /// Overall additive error bound α.
+    pub alpha: f64,
+    /// Error bound on stored counts.
+    pub alpha_counts: f64,
+    /// True-count bound for absent strings.
+    pub alpha_absent: f64,
+}
+
+/// The [`Response::Stats`] body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// One record per resident shard, ascending by `shard_id`.
+    pub shards: Vec<ShardStats>,
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_pattern(out: &mut Vec<u8>, pattern: &[u8]) {
+    push_u32(out, pattern.len() as u32);
+    out.extend_from_slice(pattern);
+}
+
+fn take_pattern(cur: &mut Cursor<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = cur.u32()? as usize;
+    Ok(cur.take(len)?.to_vec())
+}
+
+/// Seals `body` (magic + version + opcode/status + payload so far) into a
+/// framed message: appends the checksum, then prefixes the length.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    assert!(body.len() <= MAX_FRAME_LEN, "frame body exceeds MAX_FRAME_LEN");
+    let mut framed = Vec::with_capacity(4 + body.len());
+    push_u32(&mut framed, body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// Checks the frame envelope shared by both directions: magic, version,
+/// and trailing checksum. Returns a cursor spanning *only* the payload
+/// (checksum excluded), so no inner length field — however crafted — can
+/// read into or past the checksum bytes.
+fn open_body<'a>(body: &'a [u8], magic: [u8; 4]) -> Result<Cursor<'a>, DecodeError> {
+    let mut cur = Cursor::new(body);
+    let found: [u8; 4] = cur.take(4)?.try_into().expect("4-byte magic");
+    if found != magic {
+        return Err(DecodeError::BadMagic { found, expected: magic });
+    }
+    let version = cur.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion { found: version, expected: VERSION });
+    }
+    if body.len() < cur.pos() + 8 {
+        return Err(DecodeError::Truncated {
+            offset: cur.pos(),
+            need: 8,
+            have: body.len() - cur.pos(),
+        });
+    }
+    let payload_end = body.len() - 8;
+    let stored = u64::from_le_bytes(body[payload_end..].try_into().expect("8-byte checksum"));
+    let computed = fnv1a(&body[..payload_end]);
+    if stored != computed {
+        return Err(DecodeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(Cursor::new(&body[cur.pos()..payload_end]))
+}
+
+/// Rejects unconsumed payload bytes — the canonical encodings have none.
+fn finish(cur: &Cursor<'_>) -> Result<(), DecodeError> {
+    if cur.remaining() != 0 {
+        return Err(DecodeError::TrailingGarbage { extra: cur.remaining() });
+    }
+    Ok(())
+}
+
+/// Encodes a request into a complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    body.extend_from_slice(&MAGIC_REQUEST);
+    body.extend_from_slice(&VERSION.to_le_bytes());
+    match req {
+        Request::Query { shard, pattern } => {
+            body.push(OP_QUERY);
+            push_u32(&mut body, *shard);
+            push_pattern(&mut body, pattern);
+        }
+        Request::QueryBatch { shard, patterns } => {
+            body.push(OP_QUERY_BATCH);
+            push_u32(&mut body, *shard);
+            push_u32(&mut body, patterns.len() as u32);
+            for p in patterns {
+                push_pattern(&mut body, p);
+            }
+        }
+        Request::Contains { shard, pattern } => {
+            body.push(OP_CONTAINS);
+            push_u32(&mut body, *shard);
+            push_pattern(&mut body, pattern);
+        }
+        Request::Stats => body.push(OP_STATS),
+        Request::LoadSnapshot { shard, snapshot } => {
+            body.push(OP_LOAD_SNAPSHOT);
+            push_u32(&mut body, *shard);
+            push_u64(&mut body, snapshot.len() as u64);
+            body.extend_from_slice(snapshot);
+        }
+        Request::Shutdown => body.push(OP_SHUTDOWN),
+    }
+    seal(body)
+}
+
+/// Decodes a request frame *body* (the bytes after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
+    let mut cur = open_body(body, MAGIC_REQUEST)?;
+    let opcode = cur.u8()?;
+    let req = match opcode {
+        OP_QUERY => {
+            let shard = cur.u32()?;
+            Request::Query { shard, pattern: take_pattern(&mut cur)? }
+        }
+        OP_QUERY_BATCH => {
+            let shard = cur.u32()?;
+            let count = cur.u32()? as usize;
+            // Each pattern needs at least its 4-byte length field, so a
+            // sane count is bounded by the remaining payload — checked
+            // before the allocation, like the snapshot codec's size math.
+            // The MAX_BATCH cap additionally keeps the *response* (8
+            // bytes per value) inside MAX_FRAME_LEN: without it a ~134
+            // MiB request of empty patterns would ask for a ~268 MiB
+            // response and trip `seal`'s frame invariant server-side.
+            if count > MAX_BATCH || count > cur.remaining() / 4 {
+                return Err(DecodeError::BadField {
+                    field: "batch count",
+                    detail: format!("{count} patterns cannot fit the payload"),
+                });
+            }
+            let mut patterns = Vec::with_capacity(count);
+            for _ in 0..count {
+                patterns.push(take_pattern(&mut cur)?);
+            }
+            Request::QueryBatch { shard, patterns }
+        }
+        OP_CONTAINS => {
+            let shard = cur.u32()?;
+            Request::Contains { shard, pattern: take_pattern(&mut cur)? }
+        }
+        OP_STATS => Request::Stats,
+        OP_LOAD_SNAPSHOT => {
+            let shard = cur.u32()?;
+            let len = cur.usize64()?;
+            Request::LoadSnapshot { shard, snapshot: cur.take(len)?.to_vec() }
+        }
+        OP_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(DecodeError::BadField {
+                field: "opcode",
+                detail: format!("unknown opcode {other}"),
+            })
+        }
+    };
+    finish(&cur)?;
+    Ok(req)
+}
+
+/// Encodes a response into a complete frame (length prefix included).
+///
+/// Layout after magic + version: a status byte, then — for ok responses —
+/// the opcode and its payload, or — for errors — a UTF-8 message. Errors
+/// carry no opcode, so equal responses have exactly one encoding.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    body.extend_from_slice(&MAGIC_RESPONSE);
+    body.extend_from_slice(&VERSION.to_le_bytes());
+    match resp {
+        Response::Error { message } => {
+            body.push(STATUS_ERROR);
+            push_pattern(&mut body, message.as_bytes());
+        }
+        ok => {
+            body.push(STATUS_OK);
+            match ok {
+                Response::Query { value } => {
+                    body.push(OP_QUERY);
+                    push_f64(&mut body, *value);
+                }
+                Response::QueryBatch { values } => {
+                    body.push(OP_QUERY_BATCH);
+                    push_u32(&mut body, values.len() as u32);
+                    for v in values {
+                        push_f64(&mut body, *v);
+                    }
+                }
+                Response::Contains { present } => {
+                    body.push(OP_CONTAINS);
+                    body.push(*present as u8);
+                }
+                Response::Stats(stats) => {
+                    body.push(OP_STATS);
+                    push_u64(&mut body, stats.cache.hits);
+                    push_u64(&mut body, stats.cache.misses);
+                    push_u64(&mut body, stats.cache.entries);
+                    push_u64(&mut body, stats.cache.capacity);
+                    push_u32(&mut body, stats.shards.len() as u32);
+                    for s in &stats.shards {
+                        push_u32(&mut body, s.shard_id);
+                        push_u64(&mut body, s.epoch);
+                        push_u64(&mut body, s.node_count);
+                        push_u64(&mut body, s.serialized_len);
+                        push_u64(&mut body, s.n_docs);
+                        push_u64(&mut body, s.max_len);
+                        push_f64(&mut body, s.epsilon);
+                        push_f64(&mut body, s.delta);
+                        push_f64(&mut body, s.alpha);
+                        push_f64(&mut body, s.alpha_counts);
+                        push_f64(&mut body, s.alpha_absent);
+                    }
+                }
+                Response::LoadSnapshot { epoch, node_count } => {
+                    body.push(OP_LOAD_SNAPSHOT);
+                    push_u64(&mut body, *epoch);
+                    push_u64(&mut body, *node_count);
+                }
+                Response::Shutdown => body.push(OP_SHUTDOWN),
+                Response::Error { .. } => unreachable!("handled above"),
+            }
+        }
+    }
+    seal(body)
+}
+
+/// Decodes a response frame *body* (the bytes after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
+    let mut cur = open_body(body, MAGIC_RESPONSE)?;
+    let status = cur.u8()?;
+    let resp = match status {
+        STATUS_ERROR => {
+            let raw = take_pattern(&mut cur)?;
+            let message = String::from_utf8(raw).map_err(|_| DecodeError::BadField {
+                field: "error message",
+                detail: "not valid UTF-8".to_string(),
+            })?;
+            Response::Error { message }
+        }
+        STATUS_OK => match cur.u8()? {
+            OP_QUERY => Response::Query { value: cur.f64()? },
+            OP_QUERY_BATCH => {
+                let count = cur.u32()? as usize;
+                if count > MAX_BATCH || count > cur.remaining() / 8 {
+                    return Err(DecodeError::BadField {
+                        field: "batch count",
+                        detail: format!("{count} values cannot fit the payload"),
+                    });
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(cur.f64()?);
+                }
+                Response::QueryBatch { values }
+            }
+            OP_CONTAINS => {
+                let byte = cur.u8()?;
+                if byte > 1 {
+                    return Err(DecodeError::BadField {
+                        field: "contains flag",
+                        detail: format!("byte {byte} is not 0/1"),
+                    });
+                }
+                Response::Contains { present: byte == 1 }
+            }
+            OP_STATS => {
+                let cache = CacheStats {
+                    hits: cur.u64()?,
+                    misses: cur.u64()?,
+                    entries: cur.u64()?,
+                    capacity: cur.u64()?,
+                };
+                let count = cur.u32()? as usize;
+                const SHARD_REC: usize = 4 + 8 * 10;
+                if count > cur.remaining() / SHARD_REC {
+                    return Err(DecodeError::BadField {
+                        field: "shard count",
+                        detail: format!("{count} records cannot fit the payload"),
+                    });
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shards.push(ShardStats {
+                        shard_id: cur.u32()?,
+                        epoch: cur.u64()?,
+                        node_count: cur.u64()?,
+                        serialized_len: cur.u64()?,
+                        n_docs: cur.u64()?,
+                        max_len: cur.u64()?,
+                        epsilon: cur.f64()?,
+                        delta: cur.f64()?,
+                        alpha: cur.f64()?,
+                        alpha_counts: cur.f64()?,
+                        alpha_absent: cur.f64()?,
+                    });
+                }
+                Response::Stats(ServerStats { cache, shards })
+            }
+            OP_LOAD_SNAPSHOT => {
+                Response::LoadSnapshot { epoch: cur.u64()?, node_count: cur.u64()? }
+            }
+            OP_SHUTDOWN => Response::Shutdown,
+            other => {
+                return Err(DecodeError::BadField {
+                    field: "opcode",
+                    detail: format!("unknown opcode {other}"),
+                })
+            }
+        },
+        other => {
+            return Err(DecodeError::BadField {
+                field: "status",
+                detail: format!("unknown status {other}"),
+            })
+        }
+    };
+    finish(&cur)?;
+    Ok(resp)
+}
+
+/// Inspects `buf` for a complete frame. Returns `Ok(None)` when more
+/// bytes are needed, `Ok(Some(total_len))` when `buf[4..total_len]` is a
+/// complete body, and `Err` when the declared length exceeds
+/// [`MAX_FRAME_LEN`] (the connection should be dropped — resynchronizing
+/// an LE byte stream after a corrupt length is not possible).
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4-byte length")) as usize;
+    if body_len > MAX_FRAME_LEN {
+        return Err(DecodeError::BadField {
+            field: "frame length",
+            detail: format!("{body_len} exceeds the {MAX_FRAME_LEN}-byte cap"),
+        });
+    }
+    if buf.len() < 4 + body_len {
+        return Ok(None);
+    }
+    Ok(Some(4 + body_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Query { shard: 0, pattern: b"acgt".to_vec() },
+            Request::Query { shard: 7, pattern: Vec::new() },
+            Request::QueryBatch {
+                shard: 3,
+                patterns: vec![b"a".to_vec(), Vec::new(), b"zzzz".to_vec()],
+            },
+            Request::QueryBatch { shard: 1, patterns: Vec::new() },
+            Request::Contains { shard: 2, pattern: b"ab".to_vec() },
+            Request::Stats,
+            Request::LoadSnapshot { shard: 9, snapshot: vec![1, 2, 3, 4, 5] },
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Query { value: -1.5 },
+            Response::Query { value: f64::NEG_INFINITY },
+            Response::QueryBatch { values: vec![0.0, -0.0, 3.25] },
+            Response::QueryBatch { values: Vec::new() },
+            Response::Contains { present: true },
+            Response::Contains { present: false },
+            Response::Stats(ServerStats {
+                cache: CacheStats { hits: 10, misses: 3, entries: 5, capacity: 1024 },
+                shards: vec![ShardStats {
+                    shard_id: 1,
+                    epoch: 42,
+                    node_count: 1000,
+                    serialized_len: 8096,
+                    n_docs: 64,
+                    max_len: 32,
+                    epsilon: 2.0,
+                    delta: 1e-9,
+                    alpha: 12.5,
+                    alpha_counts: 12.5,
+                    alpha_absent: 8.0,
+                }],
+            }),
+            Response::Stats(ServerStats { cache: CacheStats::default(), shards: Vec::new() }),
+            Response::LoadSnapshot { epoch: 3, node_count: 17 },
+            Response::Shutdown,
+            Response::Error { message: "unknown shard 12".to_string() },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_canonically() {
+        for req in sample_requests() {
+            let framed = encode_request(&req);
+            let total = frame_len(&framed).unwrap().expect("complete frame");
+            assert_eq!(total, framed.len());
+            let back = decode_request(&framed[4..total]).expect("decodes");
+            assert_eq!(back, req);
+            assert_eq!(encode_request(&back), framed, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_canonically() {
+        for resp in sample_responses() {
+            let framed = encode_response(&resp);
+            let total = frame_len(&framed).unwrap().expect("complete frame");
+            assert_eq!(total, framed.len());
+            let back = decode_response(&framed[4..total]).expect("decodes");
+            // NaN-free samples: PartialEq is exact here.
+            assert_eq!(back, resp);
+            assert_eq!(encode_response(&back), framed, "canonical re-encode");
+        }
+    }
+
+    #[test]
+    fn float_payloads_round_trip_bitwise() {
+        let value = f64::from_bits(0x7ff8_0000_0000_1234); // a signaling-ish NaN
+        let framed = encode_response(&Response::Query { value });
+        match decode_response(&framed[4..]).expect("decodes") {
+            Response::Query { value: v } => assert_eq!(v.to_bits(), value.to_bits()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_request_truncation_errors() {
+        for req in sample_requests() {
+            let framed = encode_request(&req);
+            for len in 4..framed.len() {
+                assert!(
+                    decode_request(&framed[4..len]).is_err(),
+                    "{req:?}: prefix of length {len} parsed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn request_direction_confusion_is_rejected() {
+        // Feeding a response body to the request decoder (and vice versa)
+        // fails on the magic, not deeper in.
+        let req = encode_request(&Request::Stats);
+        let resp = encode_response(&Response::Shutdown);
+        assert!(matches!(decode_response(&req[4..]), Err(DecodeError::BadMagic { .. })));
+        assert!(matches!(decode_request(&resp[4..]), Err(DecodeError::BadMagic { .. })));
+    }
+
+    /// Rewrites `body[at..at+patch.len()]` and re-stamps the trailing
+    /// checksum, simulating an adversary who keeps the frame valid.
+    fn patch_and_restamp(body: &[u8], at: usize, patch: &[u8]) -> Vec<u8> {
+        let mut out = body.to_vec();
+        out[at..at + patch.len()].copy_from_slice(patch);
+        let end = out.len() - 8;
+        let sum = fnv1a(&out[..end]);
+        out[end..].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn length_field_overrunning_into_the_checksum_errors() {
+        // Query body: magic(4) version(2) opcode(1) shard(4) patlen(4)
+        // pat(2) checksum(8). Claiming a 6-byte pattern over 2 real
+        // payload bytes reaches into the checksum region; with the
+        // checksum re-stamped the envelope verifies, so only the
+        // payload-bounded cursor stands between this and reading (or
+        // underflowing the trailing-garbage math on) the checksum bytes.
+        let framed = encode_request(&Request::Query { shard: 1, pattern: b"ab".to_vec() });
+        let forged = patch_and_restamp(&framed[4..], 4 + 2 + 1 + 4, &6u32.to_le_bytes());
+        match decode_request(&forged) {
+            Err(DecodeError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_counts_beyond_max_batch_are_rejected() {
+        // A huge declared count must fail on the count field even when
+        // the frame itself is small…
+        let framed = encode_request(&Request::QueryBatch { shard: 0, patterns: Vec::new() });
+        let forged =
+            patch_and_restamp(&framed[4..], 4 + 2 + 1 + 4, &((MAX_BATCH as u32) + 1).to_le_bytes());
+        match decode_request(&forged) {
+            Err(DecodeError::BadField { field: "batch count", .. }) => {}
+            other => panic!("expected batch-count rejection, got {other:?}"),
+        }
+        // …and MAX_BATCH itself bounds the response inside MAX_FRAME_LEN.
+        const { assert!(8 * MAX_BATCH + 64 <= MAX_FRAME_LEN) }
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        assert!(frame_len(&buf).is_err());
+    }
+
+    #[test]
+    fn incomplete_frames_ask_for_more_bytes() {
+        let framed = encode_request(&Request::Stats);
+        for len in 0..framed.len() {
+            assert_eq!(frame_len(&framed[..len]).unwrap(), None, "prefix {len}");
+        }
+        assert_eq!(frame_len(&framed).unwrap(), Some(framed.len()));
+        // Extra bytes after a complete frame belong to the next frame.
+        let mut two = framed.clone();
+        two.extend_from_slice(&framed);
+        assert_eq!(frame_len(&two).unwrap(), Some(framed.len()));
+    }
+
+    #[test]
+    fn single_bit_flips_are_rejected() {
+        let framed = encode_request(&Request::Query { shard: 5, pattern: b"acgt".to_vec() });
+        let body = &framed[4..];
+        for pos in 0..body.len() {
+            for bit in 0..8 {
+                let mut corrupt = body.to_vec();
+                corrupt[pos] ^= 1 << bit;
+                assert!(
+                    decode_request(&corrupt).is_err(),
+                    "bit {bit} of body byte {pos} flipped silently"
+                );
+            }
+        }
+    }
+}

@@ -1,12 +1,16 @@
-//! Serving a frozen synopsis: build once under the privacy budget, freeze
-//! into the flat index, ship the bytes, answer queries at speed.
+//! Serving a frozen synopsis as a *service*: build once under the
+//! privacy budget, freeze, serialize, ship the bytes to a daemon over
+//! the wire, and answer queries through the binary protocol — including
+//! a mid-traffic hot snapshot swap.
 //!
 //! The construction is the only data-touching step; everything after
-//! `freeze()` — including the serialization round-trip and every query —
-//! is post-processing with zero additional privacy cost.
+//! `freeze()` — serialization, loading into the daemon, every query, and
+//! the hot swap itself — is post-processing with zero additional privacy
+//! cost.
 //!
 //! Run with: `cargo run --release --example serve_queries`
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use dp_substring_counting::prelude::*;
@@ -14,103 +18,108 @@ use dp_substring_counting::workloads::markov_corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Times `f` over `iters` runs and returns queries per second.
-fn qps(iters: usize, queries_per_iter: usize, mut f: impl FnMut()) -> f64 {
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    (iters * queries_per_iter) as f64 / start.elapsed().as_secs_f64()
-}
-
-fn main() {
-    // ---- Construction (the one private pass) ------------------------------
-    let mut rng = StdRng::seed_from_u64(7);
-    let corpus = markov_corpus(1000, 32, 8, 0.6, &mut rng);
+/// One ε-DP construction over a fresh Markov corpus, frozen and ready to
+/// ship. Low thresholds at large ε give a deep synopsis; what we study
+/// here is serving, not privacy/utility trade-offs (see quickstart).
+fn build_snapshot(seed: u64) -> (FrozenSynopsis, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sized so the whole example (two generations) stays well inside the
+    // <10 s example budget even on a loaded single-vCPU host.
+    let corpus = markov_corpus(400, 24, 8, 0.6, &mut rng);
     let idx = CorpusIndex::build(&corpus);
-    println!(
-        "corpus: n = {} documents, ℓ = {}, |Σ| = {}",
-        corpus.n(),
-        corpus.max_len(),
-        corpus.alphabet().size(),
-    );
-    // Low thresholds at large ε give a deep synopsis; what we study here is
-    // serving cost, not privacy/utility trade-offs (see quickstart for those).
     let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e6), 0.1)
         .with_thresholds(2.0, 2.0);
-    let t0 = Instant::now();
     let structure = build_pure(&idx, &params, &mut rng).expect("construction succeeded");
-    println!(
-        "built: {} trie nodes in {:.2?} (one-time, ε-DP)",
-        structure.node_count(),
-        t0.elapsed()
-    );
-
-    // ---- Freeze + ship ----------------------------------------------------
-    let t0 = Instant::now();
-    let frozen = structure.freeze();
-    println!("frozen: {} nodes flattened in {:.2?}", frozen.node_count(), t0.elapsed());
-    let bytes = frozen.to_bytes();
-    let served = FrozenSynopsis::from_bytes(&bytes).expect("shipped bytes parse");
-    println!(
-        "shipped: {} bytes on the wire, round-trips losslessly: {}",
-        bytes.len(),
-        served == frozen,
-    );
-
-    // ---- Query workload: hot substrings + absent probes -------------------
     let mut patterns: Vec<Vec<u8>> = Vec::new();
-    for doc in corpus.documents().iter().take(500) {
+    for doc in corpus.documents().iter().take(400) {
         let len = 4.min(doc.len());
         patterns.push(doc[..len].to_vec());
         if doc.len() >= 8 {
             patterns.push(doc[2..8].to_vec());
         }
     }
-    for _ in 0..500 {
-        // Random patterns outside the alphabet: guaranteed absent.
+    for _ in 0..400 {
+        // Random digit patterns outside the alphabet: guaranteed absent.
         let len = rng.gen_range(2..10usize);
         patterns.push((0..len).map(|_| rng.gen_range(b'0'..=b'9')).collect());
     }
+    (structure.freeze(), patterns)
+}
+
+fn main() {
+    // ---- Construct two snapshot generations (the private passes) ----------
+    let t0 = Instant::now();
+    let (gen1, patterns) = build_snapshot(7);
+    let (gen2, _) = build_snapshot(8);
+    println!(
+        "built two snapshot generations in {:.2?}: {} / {} nodes",
+        t0.elapsed(),
+        gen1.node_count(),
+        gen2.node_count()
+    );
+    let bytes1 = gen1.to_bytes();
+    let bytes2 = gen2.to_bytes();
+
+    // ---- Daemon on a loopback ephemeral port ------------------------------
+    let manager = Arc::new(ShardManager::new());
+    let handle = Server::spawn(ServerConfig::default(), Arc::clone(&manager))
+        .expect("daemon binds a loopback port");
+    println!("daemon listening on {}", handle.addr());
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // ---- Ship the snapshot over the wire ----------------------------------
+    let epoch1 = client.load_snapshot(0, &bytes1).expect("snapshot loads");
+    println!("shard 0 loaded: {} bytes on the wire, serving epoch {epoch1}", bytes1.len());
+
+    // ---- Mixed query/batch session ----------------------------------------
     let pattern_refs: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
-    println!("\nworkload: {} patterns (present + absent mix)", patterns.len());
-
-    // Correctness first: frozen must agree with the trie bit-for-bit.
-    for p in &pattern_refs {
-        assert_eq!(structure.query(p).to_bits(), served.query(p).to_bits());
+    let t0 = Instant::now();
+    for p in pattern_refs.iter().take(200) {
+        let served = client.query(0, p).expect("query answered");
+        assert_eq!(served.to_bits(), gen1.query(p).to_bits(), "served == local, bit for bit");
     }
+    println!("200 single queries in {:.2?} (each bit-identical to a local query)", t0.elapsed());
 
-    // ---- Throughput -------------------------------------------------------
-    let iters = 200;
-    let nq = pattern_refs.len();
-    let trie_qps = qps(iters, nq, || {
-        for p in &pattern_refs {
-            std::hint::black_box(structure.query(p));
-        }
-    });
-    let single_qps = qps(iters, nq, || {
-        for p in &pattern_refs {
-            std::hint::black_box(served.query(p));
-        }
-    });
-    let batch_qps = qps(iters, nq, || {
-        std::hint::black_box(served.query_batch(&pattern_refs));
-    });
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let par_qps = qps(iters, nq, || {
-        std::hint::black_box(served.query_batch_parallel(&pattern_refs, threads));
-    });
-    println!("trie walk        : {trie_qps:>12.0} queries/s");
+    let t0 = Instant::now();
+    let served = client.query_batch(0, &pattern_refs).expect("batch answered");
+    let local = gen1.query_batch(&pattern_refs);
+    assert_eq!(served.len(), local.len());
+    for (s, l) in served.iter().zip(&local) {
+        assert_eq!(s.to_bits(), l.to_bits());
+    }
     println!(
-        "frozen single    : {single_qps:>12.0} queries/s   ({:.2}× trie)",
-        single_qps / trie_qps
+        "one {}-query batch in {:.2?} (bit-identical again)",
+        pattern_refs.len(),
+        t0.elapsed()
     );
+
+    let present = client.contains(0, &patterns[0]).expect("contains answered");
+    println!("contains({:?}) = {present}", String::from_utf8_lossy(&patterns[0]));
+
+    // ---- Hot swap under the same connection -------------------------------
+    let epoch2 = client.load_snapshot(0, &bytes2).expect("hot swap succeeds");
+    let after = client.query_batch(0, &pattern_refs).expect("post-swap batch");
+    let expected: Vec<f64> = gen2.query_batch(&pattern_refs);
+    for (s, l) in after.iter().zip(&expected) {
+        assert_eq!(s.to_bits(), l.to_bits());
+    }
+    println!("hot-swapped to epoch {epoch2}: answers now match generation 2, bit for bit");
+
+    // ---- Operator stats ---------------------------------------------------
+    let stats = client.stats().expect("stats answered");
+    for s in &stats.shards {
+        println!(
+            "shard {} @ epoch {}: {} nodes, {} bytes serialized, ε = {}, α = {:.2}",
+            s.shard_id, s.epoch, s.node_count, s.serialized_len, s.epsilon, s.alpha
+        );
+    }
     println!(
-        "frozen batch     : {batch_qps:>12.0} queries/s   ({:.2}× trie)",
-        batch_qps / trie_qps
+        "cache: {} hits / {} misses ({} entries of {} capacity)",
+        stats.cache.hits, stats.cache.misses, stats.cache.entries, stats.cache.capacity
     );
-    println!(
-        "frozen parallel  : {par_qps:>12.0} queries/s   ({:.2}× trie, {threads} threads)",
-        par_qps / trie_qps
-    );
+
+    // ---- Clean shutdown ---------------------------------------------------
+    client.shutdown_server().expect("daemon acknowledges shutdown");
+    handle.shutdown();
+    println!("daemon stopped cleanly");
 }

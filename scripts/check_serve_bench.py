@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""CI gate for the serving-tier perf baseline.
+
+Compares a freshly generated results/BENCH_serve.json against the committed
+results/BENCH_serve_baseline.json. Structural fields — shard definitions,
+snapshot/universe digests, workload definition and the answers digest — must
+match the baseline exactly: a digest change means the build output or the
+serving path changed behaviour, which is a correctness signal and gets its
+own error message. Throughput is gated per mode: the run fails when QPS
+drops below baseline/<max_slowdown> (default 2.0; loopback TCP on shared CI
+runners is noisy, so the perf gate is looser than the build gate's 1.25).
+
+Usage: check_serve_bench.py [current.json] [baseline.json] [max_slowdown]
+"""
+
+import json
+import sys
+
+STRUCTURAL_SHARD_FIELDS = (
+    "shard_id",
+    "n",
+    "ell",
+    "epsilon",
+    "node_count",
+    "serialized_len",
+    "universe",
+    "universe_digest",
+    "snapshot_digest",
+)
+
+STRUCTURAL_WORKLOAD_FIELDS = (
+    "connections",
+    "requests_per_conn",
+    "batch",
+    "burst",
+    "total_queries",
+    "workload_digest",
+    "answers_digest",
+)
+
+
+def main() -> int:
+    cur_path = sys.argv[1] if len(sys.argv) > 1 else "results/BENCH_serve.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "results/BENCH_serve_baseline.json"
+    max_slowdown = float(sys.argv[3]) if len(sys.argv) > 3 else 2.0
+
+    try:
+        with open(base_path) as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        print(f"[serve-gate] no baseline at {base_path}; skipping (commit one to arm the gate)")
+        return 0
+    with open(cur_path) as f:
+        current = json.load(f)
+
+    failures = []
+
+    base_shards = {s["name"]: s for s in baseline["shards"]}
+    cur_shards = {s["name"]: s for s in current["shards"]}
+    for name, b in base_shards.items():
+        c = cur_shards.get(name)
+        if c is None:
+            failures.append(f"shard {name}: present in baseline but missing from current run")
+            continue
+        for field in STRUCTURAL_SHARD_FIELDS:
+            if b[field] != c[field]:
+                failures.append(
+                    f"shard {name}: structural field {field!r} changed "
+                    f"({b[field]!r} -> {c[field]!r}) — served content drifted from baseline"
+                )
+
+    bw, cw = baseline["workload"], current["workload"]
+    for field in STRUCTURAL_WORKLOAD_FIELDS:
+        if bw[field] != cw[field]:
+            failures.append(
+                f"workload: structural field {field!r} changed "
+                f"({bw[field]!r} -> {cw[field]!r}) — load definition drifted from baseline"
+            )
+
+    base_modes = {m["mode"]: m for m in baseline["modes"]}
+    cur_modes = {m["mode"]: m for m in current["modes"]}
+    for mode, b in base_modes.items():
+        c = cur_modes.get(mode)
+        if c is None:
+            failures.append(f"mode {mode}: missing from current run")
+            continue
+        ratio = b["qps"] / c["qps"] if c["qps"] else float("inf")
+        status = "OK" if ratio <= max_slowdown else "REGRESSION"
+        print(
+            f"[serve-gate] {mode}: {b['qps']:.0f} -> {c['qps']:.0f} queries/s "
+            f"({ratio:.2f}x slower-factor, p99 {c['latency_p99_us']:.0f} µs) {status}"
+        )
+        if ratio > max_slowdown:
+            failures.append(
+                f"{mode}: throughput regressed {ratio:.2f}x (limit {max_slowdown:.2f}x)"
+            )
+
+    if failures:
+        print("[serve-gate] FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("[serve-gate] all modes within budget, structure matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@
 //! | [`lowerbounds`] | Theorems 5–7 instances and distinguishing attacks |
 //! | [`workloads`] | synthetic corpus generators |
 //! | [`audit`] | statistical conformance harness: sampler goodness-of-fit, end-to-end privacy distinguishers, utility-vs-theorem-bound scenario matrix |
+//! | [`serve`] | sharded TCP serving daemon: binary wire protocol, per-connection batching, epoch-keyed LRU cache, hot snapshot swap |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use dpsc_dpcore as dpcore;
 pub use dpsc_hierarchy as hierarchy;
 pub use dpsc_lowerbounds as lowerbounds;
 pub use dpsc_private_count as private_count;
+pub use dpsc_serve as serve;
 pub use dpsc_strkit as strkit;
 pub use dpsc_textindex as textindex;
 pub use dpsc_workloads as workloads;
@@ -75,9 +77,10 @@ pub mod prelude {
     };
     pub use dpsc_private_count::{
         build_approx, build_pure, build_qgram_fast, build_qgram_pure, build_simple_trie,
-        evaluate_mining, BuildParams, CountMode, FastQgramParams, FrozenSynopsis,
+        evaluate_mining, BuildParams, CountMode, DecodeError, FastQgramParams, FrozenSynopsis,
         PrivateCountStructure, QgramParams, SimpleTrieParams,
     };
+    pub use dpsc_serve::{Client, Server, ServerConfig, ServerHandle, ShardManager};
     pub use dpsc_strkit::alphabet::{Alphabet, Database};
     pub use dpsc_textindex::CorpusIndex;
 }

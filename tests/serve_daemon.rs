@@ -1,0 +1,281 @@
+//! End-to-end contracts of the serving daemon: served answers are
+//! bit-identical to local synopsis queries, a mid-traffic hot snapshot
+//! swap never blocks readers or blends epochs, cache hits return exactly
+//! what a cold walk returns, and `Stats` surfaces the utility bounds of
+//! what is actually being served.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dp_substring_counting::prelude::*;
+use dp_substring_counting::serve::{Request, Response};
+use dp_substring_counting::strkit::trie::Trie;
+use dp_substring_counting::workloads::markov_corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Theorem-1 build over a Markov corpus plus a present/absent pattern
+/// mix from its documents.
+fn dp_built(seed: u64) -> (FrozenSynopsis, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = markov_corpus(80, 16, 4, 0.6, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e4), 0.1)
+        .with_thresholds(1.5, 1.5);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeds");
+    let mut patterns: Vec<Vec<u8>> = Vec::new();
+    for doc in db.documents() {
+        patterns.push(doc[..doc.len().min(5)].to_vec());
+    }
+    for _ in 0..40 {
+        let len = rng.gen_range(2..8usize);
+        patterns.push((0..len).map(|_| rng.gen_range(b'0'..=b'9')).collect());
+    }
+    (s.freeze(), patterns)
+}
+
+/// A synthetic synopsis over a fixed key set whose every count is
+/// `base + i` — two of these with different `base` disagree on *every*
+/// stored node, which is what makes the no-blend assertion sharp.
+fn synthetic(base: f64) -> FrozenSynopsis {
+    let mut trie: Trie<f64> = Trie::new(base);
+    let keys: Vec<Vec<u8>> = (0..50u8)
+        .map(|i| vec![b'a' + (i % 4), b'a' + ((i / 4) % 4), b'a' + ((i / 16) % 4)])
+        .collect();
+    for (i, key) in keys.iter().enumerate() {
+        let node = trie.insert_path(key, |_| 0.0);
+        *trie.value_mut(node) = base + i as f64;
+    }
+    PrivateCountStructure::new(
+        trie,
+        CountMode::Substring,
+        PrivacyParams::pure(2.0),
+        3.0,
+        4.0,
+        50,
+        3,
+    )
+    .freeze()
+}
+
+fn spawn_daemon(manager: Arc<ShardManager>) -> dp_substring_counting::serve::ServerHandle {
+    Server::spawn(ServerConfig { workers: 3, ..ServerConfig::default() }, manager)
+        .expect("daemon binds a loopback port")
+}
+
+#[test]
+fn served_answers_are_bit_identical_to_local_queries() {
+    let (frozen, patterns) = dp_built(31);
+    let bytes = frozen.to_bytes();
+    let manager = Arc::new(ShardManager::new());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // Snapshot shipped over the wire, not installed in-process.
+    let epoch = client.load_snapshot(5, &bytes).expect("snapshot loads");
+    assert_eq!(epoch, 1, "first install is epoch 1");
+
+    for p in &patterns {
+        let served = client.query(5, p).expect("query answered");
+        assert_eq!(served.to_bits(), frozen.query(p).to_bits(), "pattern {p:?}");
+        let present = client.contains(5, p).expect("contains answered");
+        assert_eq!(present, frozen.contains(p), "pattern {p:?}");
+    }
+    let refs: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
+    let served = client.query_batch(5, &refs).expect("batch answered");
+    let local = frozen.query_batch(&refs);
+    assert_eq!(served.len(), local.len());
+    for (s, l) in served.iter().zip(&local) {
+        assert_eq!(s.to_bits(), l.to_bits());
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_bursts_answer_in_order() {
+    let (frozen, patterns) = dp_built(32);
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, frozen.clone(), frozen.to_bytes().len());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let requests: Vec<Request> =
+        patterns.iter().map(|p| Request::Query { shard: 0, pattern: p.clone() }).collect();
+    let responses = client.pipeline(&requests).expect("burst answered");
+    assert_eq!(responses.len(), requests.len());
+    for (resp, p) in responses.iter().zip(&patterns) {
+        match resp {
+            Response::Query { value } => {
+                assert_eq!(value.to_bits(), frozen.query(p).to_bits(), "pattern {p:?}")
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_shards_and_corrupt_snapshots_error_without_killing_the_daemon() {
+    let (frozen, _) = dp_built(33);
+    let bytes = frozen.to_bytes();
+    let manager = Arc::new(ShardManager::new());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    // Unknown shard: typed server error, connection stays usable.
+    let err = client.query(77, b"ab").expect_err("unknown shard must error");
+    assert!(err.to_string().contains("unknown shard 77"), "got: {err}");
+
+    // Corrupt snapshot: rejected by the decode path, nothing installed.
+    let mut corrupt = bytes.clone();
+    corrupt[20] ^= 0xFF;
+    let err = client.load_snapshot(0, &corrupt).expect_err("corrupt snapshot must error");
+    assert!(err.to_string().contains("snapshot rejected"), "got: {err}");
+    assert!(manager.snapshot(0).is_none(), "failed load must not install");
+
+    // The same connection still serves once a good snapshot lands.
+    client.load_snapshot(0, &bytes).expect("good snapshot loads");
+    assert!(client.query(0, b"").expect("query answered").is_finite());
+    handle.shutdown();
+}
+
+/// The no-blend invariant: while `LoadSnapshot` hot-swaps between two
+/// synopses that disagree on every stored count, every concurrently
+/// served `QueryBatch` matches one generation exactly — never a mix —
+/// and readers keep making progress throughout (the swap never blocks
+/// them on the load/validate work).
+#[test]
+fn hot_swap_never_blends_epochs_for_concurrent_readers() {
+    let gen_a = synthetic(1_000.0);
+    let gen_b = synthetic(9_000.0);
+    let bytes_a = gen_a.to_bytes();
+    let bytes_b = gen_b.to_bytes();
+
+    let probe: Vec<Vec<u8>> = (0..50u8)
+        .map(|i| vec![b'a' + (i % 4), b'a' + ((i / 4) % 4), b'a' + ((i / 16) % 4)])
+        .collect();
+    let refs: Vec<&[u8]> = probe.iter().map(|p| p.as_slice()).collect();
+    let expect_a: Vec<u64> = gen_a.query_batch(&refs).iter().map(|v| v.to_bits()).collect();
+    let expect_b: Vec<u64> = gen_b.query_batch(&refs).iter().map(|v| v.to_bits()).collect();
+    assert_ne!(expect_a, expect_b);
+
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, gen_a.clone(), bytes_a.len());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let addr = handle.addr();
+
+    let stop = AtomicBool::new(false);
+    let swaps = 40usize;
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            readers.push(scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("reader connects");
+                let mut batches = 0usize;
+                let mut saw = [false, false];
+                while !stop.load(Ordering::Relaxed) {
+                    let served = client.query_batch(0, &refs).expect("batch answered");
+                    let bits: Vec<u64> = served.iter().map(|v| v.to_bits()).collect();
+                    if bits == expect_a {
+                        saw[0] = true;
+                    } else if bits == expect_b {
+                        saw[1] = true;
+                    } else {
+                        panic!("batch blends epochs: {bits:?}");
+                    }
+                    batches += 1;
+                }
+                (batches, saw)
+            }));
+        }
+        // Swapper: alternate generations over a separate admin connection.
+        let mut admin = Client::connect(addr).expect("admin connects");
+        let mut last_epoch = 0;
+        for i in 0..swaps {
+            let bytes = if i % 2 == 0 { &bytes_b } else { &bytes_a };
+            let epoch = admin.load_snapshot(0, bytes).expect("hot swap succeeds");
+            assert!(epoch > last_epoch, "epochs strictly increase");
+            last_epoch = epoch;
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut total_batches = 0usize;
+        let mut saw_any = [false, false];
+        for r in readers {
+            let (batches, saw) = r.join().expect("reader thread clean");
+            total_batches += batches;
+            saw_any[0] |= saw[0];
+            saw_any[1] |= saw[1];
+        }
+        // Readers made progress during the swap storm, and traffic really
+        // exercised both generations (not vacuously pinned to one).
+        assert!(total_batches >= swaps, "readers starved: {total_batches} batches");
+        assert!(saw_any[0] && saw_any[1], "swap never took effect under traffic: {saw_any:?}");
+    });
+    handle.shutdown();
+}
+
+#[test]
+fn cache_hits_are_bit_identical_and_epoch_keyed() {
+    let gen_a = synthetic(10.0);
+    let gen_b = synthetic(20.0);
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, gen_a.clone(), 0);
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let pattern = b"aba";
+    // Cold, then hot: same bits, and the hit counter moves.
+    let cold = client.query(0, pattern).expect("cold query");
+    let before = client.stats().expect("stats").cache;
+    let hot = client.query(0, pattern).expect("hot query");
+    let after = client.stats().expect("stats").cache;
+    assert_eq!(hot.to_bits(), cold.to_bits(), "cache hit must be bit-identical");
+    assert_eq!(cold.to_bits(), gen_a.query(pattern).to_bits());
+    assert!(after.hits > before.hits, "second query must hit the cache");
+
+    // Hot swap: the same pattern now answers from the new epoch — stale
+    // cache entries are unreachable by key construction.
+    client.load_snapshot(0, &gen_b.to_bytes()).expect("hot swap");
+    let swapped = client.query(0, pattern).expect("post-swap query");
+    assert_eq!(swapped.to_bits(), gen_b.query(pattern).to_bits());
+    assert_ne!(swapped.to_bits(), cold.to_bits(), "old epoch's cached value must not leak");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_surface_per_shard_sizes_and_utility_bounds() {
+    let (frozen_a, _) = dp_built(34);
+    let gen_b = synthetic(5.0);
+    let bytes_a = frozen_a.to_bytes();
+    let bytes_b = gen_b.to_bytes();
+
+    let manager = Arc::new(ShardManager::new());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+    client.load_snapshot(2, &bytes_a).expect("shard 2 loads");
+    client.load_snapshot(7, &bytes_b).expect("shard 7 loads");
+
+    let stats = client.stats().expect("stats answered");
+    assert_eq!(stats.cache.capacity, ServerConfig::default().cache_capacity as u64);
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.shards[0].shard_id, 2, "shards come back ascending");
+    assert_eq!(stats.shards[1].shard_id, 7);
+
+    let s = &stats.shards[0];
+    assert_eq!(s.node_count, frozen_a.node_count() as u64);
+    assert_eq!(s.serialized_len, bytes_a.len() as u64);
+    assert_eq!(s.alpha, frozen_a.alpha());
+    assert_eq!(s.alpha_counts, frozen_a.alpha_counts());
+    assert_eq!(s.alpha_absent, frozen_a.alpha_absent());
+    assert_eq!(s.epsilon, frozen_a.privacy().epsilon);
+    assert_eq!(s.delta, frozen_a.privacy().delta);
+    let (n_docs, max_len) = frozen_a.db_params();
+    assert_eq!((s.n_docs, s.max_len), (n_docs as u64, max_len as u64));
+
+    let s = &stats.shards[1];
+    assert_eq!(s.node_count, gen_b.node_count() as u64);
+    assert_eq!(s.serialized_len, bytes_b.len() as u64);
+    assert_eq!(s.epsilon, 2.0);
+    handle.shutdown();
+}

@@ -1,0 +1,208 @@
+//! Robustness of the serving wire protocol on *real* payloads: exact
+//! canonical round-trips for every request/response kind, and `Err`
+//! (never a panic) on a corpus of mutated frames — truncations,
+//! magic/version damage, strided bit flips, spliced garbage, and
+//! unstructured noise — mirroring `tests/synopsis_serialization.rs` for
+//! the snapshot codec.
+
+use dp_substring_counting::prelude::*;
+use dp_substring_counting::serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, frame_len,
+};
+use dp_substring_counting::serve::{CacheStats, Request, Response, ServerStats, ShardStats};
+use dp_substring_counting::workloads::markov_corpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A genuinely constructed (Theorem 1) snapshot to carry in
+/// `LoadSnapshot`, plus patterns from its corpus.
+fn built_payload() -> (Vec<u8>, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let db = markov_corpus(60, 16, 4, 0.6, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e4), 0.1)
+        .with_thresholds(1.5, 1.5);
+    let s = build_pure(&idx, &params, &mut rng).expect("construction succeeds");
+    let bytes = s.freeze().to_bytes();
+    let patterns = db.documents().iter().map(|d| d[..d.len().min(6)].to_vec()).collect();
+    (bytes, patterns)
+}
+
+fn real_requests() -> Vec<Request> {
+    let (snapshot, patterns) = built_payload();
+    vec![
+        Request::Query { shard: 0, pattern: patterns[0].clone() },
+        Request::QueryBatch { shard: 1, patterns: patterns.clone() },
+        Request::Contains { shard: 2, pattern: patterns[1].clone() },
+        Request::Stats,
+        Request::LoadSnapshot { shard: 3, snapshot },
+        Request::Shutdown,
+    ]
+}
+
+fn real_responses() -> Vec<Response> {
+    vec![
+        Response::Query { value: 17.25 },
+        Response::QueryBatch { values: (0..64).map(|i| i as f64 * 0.5 - 3.0).collect() },
+        Response::Contains { present: true },
+        Response::Stats(ServerStats {
+            cache: CacheStats { hits: 1, misses: 2, entries: 3, capacity: 4096 },
+            shards: vec![
+                ShardStats {
+                    shard_id: 0,
+                    epoch: 1,
+                    node_count: 100,
+                    serialized_len: 2048,
+                    n_docs: 60,
+                    max_len: 16,
+                    epsilon: 1e4,
+                    delta: 0.0,
+                    alpha: 2.5,
+                    alpha_counts: 2.5,
+                    alpha_absent: 1.5,
+                },
+                ShardStats {
+                    shard_id: 9,
+                    epoch: 7,
+                    node_count: 1,
+                    serialized_len: 85,
+                    n_docs: 1,
+                    max_len: 1,
+                    epsilon: 0.5,
+                    delta: 1e-9,
+                    alpha: 0.0,
+                    alpha_counts: 0.0,
+                    alpha_absent: 0.0,
+                },
+            ],
+        }),
+        Response::LoadSnapshot { epoch: 8, node_count: 12345 },
+        Response::Shutdown,
+        Response::Error { message: "snapshot rejected: checksum mismatch".to_string() },
+    ]
+}
+
+#[test]
+fn real_frames_round_trip_canonically() {
+    for req in real_requests() {
+        let framed = encode_request(&req);
+        let total = frame_len(&framed).unwrap().expect("complete");
+        assert_eq!(total, framed.len(), "frame length covers the whole encoding");
+        let back = decode_request(&framed[4..]).expect("request decodes");
+        assert_eq!(back, req);
+        assert_eq!(encode_request(&back), framed, "canonical re-encode");
+    }
+    for resp in real_responses() {
+        let framed = encode_response(&resp);
+        let back = decode_response(&framed[4..]).expect("response decodes");
+        assert_eq!(back, resp);
+        assert_eq!(encode_response(&back), framed, "canonical re-encode");
+    }
+}
+
+#[test]
+fn truncations_error_and_never_panic() {
+    for req in real_requests() {
+        let framed = encode_request(&req);
+        let body = &framed[4..];
+        // Stride keeps the big LoadSnapshot sweep fast; the first 64
+        // offsets (envelope territory) are covered exhaustively.
+        for len in (0..body.len()).filter(|&l| l < 64 || l % 37 == 0) {
+            assert!(decode_request(&body[..len]).is_err(), "prefix {len} parsed");
+        }
+    }
+}
+
+#[test]
+fn magic_version_and_direction_damage_error() {
+    let framed = encode_request(&Request::Stats);
+    let body = &framed[4..];
+    let mut wrong_magic = body.to_vec();
+    wrong_magic[0] = b'X';
+    assert!(decode_request(&wrong_magic).unwrap_err().to_string().contains("magic"));
+    let mut wrong_version = body.to_vec();
+    wrong_version[4] = 99;
+    assert!(decode_request(&wrong_version).unwrap_err().to_string().contains("version"));
+    // A response body is not a request (and vice versa).
+    let resp = encode_response(&Response::Shutdown);
+    assert!(decode_request(&resp[4..]).unwrap_err().to_string().contains("magic"));
+    assert!(decode_response(body).unwrap_err().to_string().contains("magic"));
+}
+
+#[test]
+fn strided_bit_flips_are_rejected() {
+    // The checksum covers the whole body, so any single-bit flip anywhere
+    // must fail. Sweep exhaustively on a small frame, strided on a big one.
+    let small = encode_request(&Request::Query { shard: 3, pattern: b"acgt".to_vec() });
+    for pos in 4..small.len() {
+        for bit in 0..8 {
+            let mut corrupt = small[4..].to_vec();
+            corrupt[pos - 4] ^= 1 << bit;
+            assert!(decode_request(&corrupt).is_err(), "byte {pos} bit {bit} slipped through");
+        }
+    }
+    let (snapshot, _) = built_payload();
+    let big = encode_request(&Request::LoadSnapshot { shard: 0, snapshot });
+    for pos in (4..big.len()).step_by(997) {
+        let mut corrupt = big[4..].to_vec();
+        corrupt[pos - 4] ^= 0x10;
+        assert!(decode_request(&corrupt).is_err(), "byte {pos} flip slipped through");
+    }
+}
+
+#[test]
+fn random_mutations_never_panic_and_ok_is_canonical() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let frames: Vec<Vec<u8>> = real_requests().iter().map(encode_request).collect();
+    for _ in 0..400 {
+        let base = &frames[rng.gen_range(0..frames.len())];
+        let mut m = base[4..].to_vec();
+        match rng.gen_range(0..4u8) {
+            0 => {
+                // Splice random garbage at a random offset.
+                let at = rng.gen_range(0..=m.len());
+                let n = rng.gen_range(1..16usize);
+                let garbage: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=255u8)).collect();
+                m.splice(at..at, garbage);
+            }
+            1 => {
+                // Delete a random slice.
+                if !m.is_empty() {
+                    let at = rng.gen_range(0..m.len());
+                    let n = rng.gen_range(1..=(m.len() - at).min(16));
+                    m.drain(at..at + n);
+                }
+            }
+            2 => {
+                // Overwrite a random byte.
+                if !m.is_empty() {
+                    let at = rng.gen_range(0..m.len());
+                    m[at] = rng.gen_range(0..=255u8);
+                }
+            }
+            _ => {
+                // Unstructured noise of random length.
+                let n = rng.gen_range(0..256usize);
+                m = (0..n).map(|_| rng.gen_range(0..=255u8)).collect();
+            }
+        }
+        // Must not panic; if it parses, it must re-encode canonically.
+        if let Ok(req) = decode_request(&m) {
+            let mut reframed = encode_request(&req);
+            assert_eq!(reframed.split_off(4), m, "accepted mutation is non-canonical");
+        }
+    }
+}
+
+#[test]
+fn shared_decode_error_type_spans_both_codecs() {
+    // The satellite contract: one typed error for snapshot + wire decode,
+    // with Display carrying the old stringly messages.
+    let snapshot_err: DecodeError = FrozenSynopsis::from_bytes(b"nope").unwrap_err();
+    let wire_err: DecodeError = decode_request(b"nope").unwrap_err();
+    for e in [snapshot_err, wire_err] {
+        // The `.map_err(|e| e.to_string())` pattern legacy callers keep.
+        let legacy: Result<(), String> = Err(e).map_err(|e| e.to_string());
+        assert!(!legacy.unwrap_err().is_empty());
+    }
+}
