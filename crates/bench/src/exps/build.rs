@@ -2,9 +2,14 @@
 //!
 //! Times the three build phases — Step 1 (candidate doubling), Step 2
 //! (exact-count trie), Steps 3–6 (heavy-path noise + prune) — plus the
-//! end-to-end `build_pure`, across corpus sizes and worker-thread counts
-//! on the `dna_corpus` workload, and writes `results/BENCH_build.json`,
-//! the repo's perf-trajectory artifact that CI gates regressions against.
+//! end-to-end `build_pure`, across corpus sizes and worker-thread counts,
+//! and writes `results/BENCH_build.json`, the repo's perf-trajectory
+//! artifact that CI gates regressions against. Scenarios span three
+//! workload families: `dna_corpus` (σ = 4 toys at several sizes),
+//! `text_corpus` (σ = 27 natural-language stand-in) and `log_corpus`
+//! (σ = 76 access-log stand-in) — the latter two at ≥ 1 MB corpus size so
+//! the build path is measured on realistically shaped inputs, not just
+//! 4-letter toys.
 //!
 //! ## Determinism contract
 //! Everything in the artifact except the `*_ns` timing fields is
@@ -29,10 +34,10 @@ use dpsc_private_count::candidates::{build_candidates_pure, CandidateParams};
 use dpsc_private_count::pipeline::{build_count_trie, run_pipeline_on_trie, PipelineParams};
 use dpsc_private_count::{build_pure, BuildParams, CountMode, FrozenSynopsis};
 use dpsc_textindex::CorpusIndex;
-use dpsc_workloads::dna_corpus;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::exps::common::Workload;
 use crate::Table;
 
 /// Where the raw perf artifact is written.
@@ -46,6 +51,7 @@ const THREADS: [usize; 3] = [1, 4, 8];
 
 struct Scenario {
     name: &'static str,
+    workload: Workload,
     n: usize,
     ell: usize,
     epsilon: f64,
@@ -54,16 +60,61 @@ struct Scenario {
 
 /// Tuned so the exact construction succeeds (no FAIL branch) at every
 /// size while keeping multi-level candidate sets; see DESIGN.md §10.
-const FAST: [Scenario; 3] = [
-    Scenario { name: "dna-small", n: 1024, ell: 64, epsilon: 20.0, tau_frac: 0.45 },
-    Scenario { name: "dna-mid", n: 2048, ell: 64, epsilon: 16.0, tau_frac: 0.35 },
-    Scenario { name: "dna-large", n: 4096, ell: 64, epsilon: 16.0, tau_frac: 0.30 },
+/// The `text-1m`/`log-1m` rows are the ≥ 1 MB corpora ROADMAP item 5
+/// asks for (multi-MB inputs with larger alphabets and longer documents).
+const FAST: [Scenario; 5] = [
+    Scenario {
+        name: "dna-small",
+        workload: Workload::Dna,
+        n: 1024,
+        ell: 64,
+        epsilon: 20.0,
+        tau_frac: 0.45,
+    },
+    Scenario {
+        name: "dna-mid",
+        workload: Workload::Dna,
+        n: 2048,
+        ell: 64,
+        epsilon: 16.0,
+        tau_frac: 0.35,
+    },
+    Scenario {
+        name: "dna-large",
+        workload: Workload::Dna,
+        n: 4096,
+        ell: 64,
+        epsilon: 16.0,
+        tau_frac: 0.30,
+    },
+    Scenario {
+        name: "text-1m",
+        workload: Workload::Text,
+        n: 10624,
+        ell: 97,
+        epsilon: 16.0,
+        tau_frac: 0.35,
+    },
+    Scenario {
+        name: "log-1m",
+        workload: Workload::Log,
+        n: 36_000,
+        ell: 30,
+        epsilon: 16.0,
+        tau_frac: 0.10,
+    },
 ];
 
 /// Full-tier extra: a noise-flooded (but non-FAIL) regime whose ~1M-node
 /// trie shifts the cost into Steps 2–6.
-const FLOOD: Scenario =
-    Scenario { name: "dna-flood", n: 1024, ell: 64, epsilon: 16.0, tau_frac: 0.48 };
+const FLOOD: Scenario = Scenario {
+    name: "dna-flood",
+    workload: Workload::Dna,
+    n: 1024,
+    ell: 64,
+    epsilon: 16.0,
+    tau_frac: 0.48,
+};
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
@@ -84,8 +135,11 @@ struct PhaseTimes {
 
 struct ScenarioResult {
     name: &'static str,
+    workload: &'static str,
     n: usize,
     ell: usize,
+    /// Total corpus size in bytes (`Database::total_len`).
+    corpus_bytes: usize,
     epsilon: f64,
     tau: f64,
     candidates: usize,
@@ -156,13 +210,15 @@ fn run_once(
 
 fn run_scenario(sc: &Scenario, sc_idx: u64, repeats: usize) -> ScenarioResult {
     let mut rng = StdRng::seed_from_u64(derive_seed(BASE_SEED, sc_idx));
-    let corpus = dna_corpus(sc.n, sc.ell, 8, &[0.9, 0.8, 0.7, 0.6, 0.5, 0.4], &mut rng);
-    let idx = CorpusIndex::build(&corpus.db);
+    let db = sc.workload.make_corpus(sc.n, sc.ell, &mut rng);
+    let idx = CorpusIndex::build(&db);
 
     let mut result = ScenarioResult {
         name: sc.name,
+        workload: sc.workload.as_str(),
         n: sc.n,
         ell: sc.ell,
+        corpus_bytes: db.total_len(),
         epsilon: sc.epsilon,
         tau: sc.tau_frac * sc.n as f64,
         candidates: 0,
@@ -228,8 +284,10 @@ fn to_json(results: &[ScenarioResult], tier: &str, repeats: usize) -> String {
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
         out.push_str(&format!("      \"n\": {},\n", r.n));
         out.push_str(&format!("      \"ell\": {},\n", r.ell));
+        out.push_str(&format!("      \"corpus_bytes\": {},\n", r.corpus_bytes));
         out.push_str(&format!("      \"epsilon\": {},\n", r.epsilon));
         out.push_str(&format!("      \"tau\": {},\n", r.tau));
         out.push_str(&format!("      \"candidates\": {},\n", r.candidates));
@@ -289,7 +347,7 @@ pub fn build_throughput() -> Table {
     // binary writes every table to results/<id>.json).
     let mut t = Table::new(
         "build_throughput",
-        "Build pipeline wall time by phase and worker-thread count (dna_corpus)",
+        "Build pipeline wall time by phase and worker-thread count (dna/text/log corpora)",
         &[
             "scenario",
             "threads",
@@ -324,8 +382,11 @@ pub fn build_throughput() -> Table {
         let t1 = r.times.first().map(|t| t.end_to_end_ns).unwrap_or(0);
         let t8 = r.times.last().map(|t| t.end_to_end_ns).unwrap_or(1);
         t.note(format!(
-            "{}: digest {:016x}, end-to-end 1→8 threads speedup {:.2}×",
+            "{}: {} workload, {:.2} MB corpus, digest {:016x}, end-to-end 1→8 threads \
+             speedup {:.2}×",
             r.name,
+            r.workload,
+            r.corpus_bytes as f64 / 1e6,
             r.digest,
             t1 as f64 / t8 as f64
         ));

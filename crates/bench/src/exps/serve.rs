@@ -1,7 +1,8 @@
 //! Experiment `serve_throughput`: the serving-tier perf baseline.
 //!
 //! Spins up the `dpsc-serve` daemon on a loopback ephemeral port with
-//! two DP-built shards, then drives it with a closed-loop load
+//! four DP-built shards — two σ = 4 dna toys plus the ≥ 1 MB `text-1m`
+//! and `log-1m` corpora — then drives it with a closed-loop load
 //! generator: `connections` client threads, each replaying a
 //! pre-generated deterministic request stream (Zipf-weighted present
 //! patterns mixed with uniform absent probes, seeded via
@@ -17,10 +18,19 @@
 //! cache counters is byte-deterministic for the seed: shard definitions,
 //! snapshot digests, workload digests (FNV-1a per connection, XORed so
 //! thread interleaving cannot matter), and the answers digest. Every
-//! served answer is asserted bit-identical to a local query against the
-//! same snapshot *while the experiment runs* — a digest drift therefore
-//! means the build or the serving path changed behaviour, which the gate
-//! reports louder than a slowdown.
+//! served answer is asserted bit-identical to the **naive binary-search
+//! trie walk** ([`FrozenSynopsis::query_naive`]) against the same
+//! snapshot *while the experiment runs* — the server answers through the
+//! accelerated SWAR/table layout, so this is a live differential check
+//! that the acceleration layer is behaviorally invisible. A digest drift
+//! therefore means the build or the serving path changed behaviour,
+//! which the gate reports louder than a slowdown.
+//!
+//! Besides wire-level throughput, the artifact records a per-shard
+//! **single-query latency** column: an in-process microbenchmark of the
+//! accelerated path vs the naive walk over the shard's own pattern
+//! universe. In-process on purpose — loopback round trips cost ~1 µs,
+//! which would swamp the ~100 ns lookup the fast path optimises.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,10 +41,10 @@ use dpsc_private_count::codec::fnv1a;
 use dpsc_private_count::{build_pure, BuildParams, CountMode, FrozenSynopsis};
 use dpsc_serve::{Client, Request, Response, Server, ServerConfig, ShardManager};
 use dpsc_textindex::CorpusIndex;
-use dpsc_workloads::dna_corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::exps::common::Workload;
 use crate::Table;
 
 /// Where the raw perf artifact is written.
@@ -53,6 +63,7 @@ const BURST: usize = 32;
 
 struct ShardSpec {
     name: &'static str,
+    workload: Workload,
     shard_id: u32,
     n: usize,
     ell: usize,
@@ -61,10 +72,46 @@ struct ShardSpec {
 }
 
 /// Same non-FAIL DP-build regimes as `BENCH_build.json`'s fast tier, so
-/// the two artifacts track the same constructions.
-const SHARDS: [ShardSpec; 2] = [
-    ShardSpec { name: "dna-small", shard_id: 0, n: 1024, ell: 64, epsilon: 20.0, tau_frac: 0.45 },
-    ShardSpec { name: "dna-mid", shard_id: 1, n: 2048, ell: 64, epsilon: 16.0, tau_frac: 0.35 },
+/// the two artifacts track the same constructions. `text-1m` and
+/// `log-1m` are the ≥ 1 MB corpora (larger alphabets exercise the mid
+/// SWAR-block and direct-table fast-path tiers at the root).
+const SHARDS: [ShardSpec; 4] = [
+    ShardSpec {
+        name: "dna-small",
+        workload: Workload::Dna,
+        shard_id: 0,
+        n: 1024,
+        ell: 64,
+        epsilon: 20.0,
+        tau_frac: 0.45,
+    },
+    ShardSpec {
+        name: "dna-mid",
+        workload: Workload::Dna,
+        shard_id: 1,
+        n: 2048,
+        ell: 64,
+        epsilon: 16.0,
+        tau_frac: 0.35,
+    },
+    ShardSpec {
+        name: "text-1m",
+        workload: Workload::Text,
+        shard_id: 2,
+        n: 10624,
+        ell: 97,
+        epsilon: 16.0,
+        tau_frac: 0.35,
+    },
+    ShardSpec {
+        name: "log-1m",
+        workload: Workload::Log,
+        shard_id: 3,
+        n: 36_000,
+        ell: 30,
+        epsilon: 16.0,
+        tau_frac: 0.10,
+    },
 ];
 
 /// One FNV-1a fold step for the incremental digests (same constants as
@@ -79,6 +126,8 @@ struct BuiltShard {
     spec: &'static ShardSpec,
     frozen: FrozenSynopsis,
     bytes: Vec<u8>,
+    /// Total generated corpus size (`Database::total_len`).
+    corpus_bytes: usize,
     universe: Vec<Vec<u8>>,
     universe_digest: u64,
     snapshot_digest: u64,
@@ -86,8 +135,8 @@ struct BuiltShard {
 
 fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
     let mut rng = StdRng::seed_from_u64(derive_seed(BASE_SEED, tag));
-    let corpus = dna_corpus(spec.n, spec.ell, 8, &[0.9, 0.8, 0.7, 0.6, 0.5, 0.4], &mut rng);
-    let idx = CorpusIndex::build(&corpus.db);
+    let db = spec.workload.make_corpus(spec.n, spec.ell, &mut rng);
+    let idx = CorpusIndex::build(&db);
     let tau = spec.tau_frac * spec.n as f64;
     let params = BuildParams::new(CountMode::Document, PrivacyParams::pure(spec.epsilon), 0.1)
         .with_thresholds(tau, f64::NEG_INFINITY);
@@ -102,7 +151,7 @@ fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
     // Zipf sampler weights, so it is part of the workload definition.
     let mut universe: Vec<Vec<u8>> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    'outer: for doc in corpus.db.documents() {
+    'outer: for doc in db.documents() {
         for (start, len) in [(0usize, 3usize), (1, 4), (2, 6), (0, 8)] {
             if doc.len() >= start + len {
                 let pat = doc[start..start + len].to_vec();
@@ -119,7 +168,49 @@ fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
     for p in &universe {
         universe_digest = fnv_fold(universe_digest, fnv1a(p));
     }
-    BuiltShard { spec, frozen, bytes, universe, universe_digest, snapshot_digest }
+    BuiltShard {
+        spec,
+        frozen,
+        bytes,
+        corpus_bytes: db.total_len(),
+        universe,
+        universe_digest,
+        snapshot_digest,
+    }
+}
+
+/// Per-shard single-query latency: ns/query over the shard's pattern
+/// universe for the accelerated path ([`FrozenSynopsis::query`]) vs the
+/// naive binary-search walk ([`FrozenSynopsis::query_naive`], the
+/// pre-acceleration serving path kept as the differential oracle).
+/// Min-over-repeats average, in-process (see the module docs for why not
+/// over the wire).
+fn single_query_latency(shard: &BuiltShard) -> (f64, f64) {
+    const REPS: usize = 7;
+    const ITERS: usize = 48;
+    let pats: Vec<&[u8]> = shard.universe.iter().map(|p| p.as_slice()).collect();
+    let queries = (ITERS * pats.len()) as f64;
+    let run = |naive: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..ITERS {
+                for p in &pats {
+                    let v = if naive {
+                        shard.frozen.query_naive(std::hint::black_box(p))
+                    } else {
+                        shard.frozen.query(std::hint::black_box(p))
+                    };
+                    acc ^= v.to_bits();
+                }
+            }
+            std::hint::black_box(acc);
+            best = best.min(t0.elapsed().as_nanos() as f64 / queries);
+        }
+        best
+    };
+    (run(false), run(true))
 }
 
 /// Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.
@@ -184,7 +275,10 @@ fn generate_workload(
             wd = fnv_fold(wd, fnv1a(&pat) ^ shard.spec.shard_id as u64);
             patterns.push(pat);
         }
-        let answers: Vec<f64> = patterns.iter().map(|p| shard.frozen.query(p)).collect();
+        // Expected answers come from the *naive* walk: the daemon serves
+        // through the accelerated layout, so the replay's bit-identical
+        // assertion is a live fast-path-vs-oracle differential check.
+        let answers: Vec<f64> = patterns.iter().map(|p| shard.frozen.query_naive(p)).collect();
         for a in &answers {
             ad = fnv_fold(ad, a.to_bits());
         }
@@ -286,6 +380,7 @@ struct RunResult {
 #[allow(clippy::too_many_arguments)]
 fn to_json(
     shards: &[BuiltShard],
+    lats: &[(f64, f64)],
     run: &RunResult,
     tier: &str,
     repeats: usize,
@@ -305,23 +400,31 @@ fn to_json(
     out.push_str(&format!("  \"zipf_s\": {ZIPF_S},\n"));
     out.push_str(&format!("  \"present_frac\": {PRESENT_FRAC},\n"));
     out.push_str(
-        "  \"notes\": \"All fields except *_ns/*_us, qps and cache counters are deterministic \
-         for the seed (digests XOR per-connection FNV-1a streams, so thread interleaving cannot \
-         change them). Served answers are asserted bit-identical to local queries at runtime.\",\n",
+        "  \"notes\": \"All fields except *_ns/*_us, qps, fastpath_speedup and cache counters \
+         are deterministic for the seed (digests XOR per-connection FNV-1a streams, so thread \
+         interleaving cannot change them). Served answers are asserted bit-identical to the \
+         naive binary-search trie walk at runtime; single_query_ns is the in-process \
+         accelerated path, single_query_naive_ns the oracle walk on the same universe.\",\n",
     );
     out.push_str("  \"shards\": [\n");
-    for (i, s) in shards.iter().enumerate() {
+    for (i, (s, &(fast_ns, naive_ns))) in shards.iter().zip(lats).enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", s.spec.name));
+        out.push_str(&format!("      \"workload\": \"{}\",\n", s.spec.workload.as_str()));
         out.push_str(&format!("      \"shard_id\": {},\n", s.spec.shard_id));
         out.push_str(&format!("      \"n\": {},\n", s.spec.n));
         out.push_str(&format!("      \"ell\": {},\n", s.spec.ell));
+        out.push_str(&format!("      \"corpus_bytes\": {},\n", s.corpus_bytes));
         out.push_str(&format!("      \"epsilon\": {},\n", s.spec.epsilon));
         out.push_str(&format!("      \"node_count\": {},\n", s.frozen.node_count()));
         out.push_str(&format!("      \"serialized_len\": {},\n", s.bytes.len()));
+        out.push_str(&format!("      \"accel_bytes\": {},\n", s.frozen.accel_memory_bytes()));
         out.push_str(&format!("      \"universe\": {},\n", s.universe.len()));
         out.push_str(&format!("      \"universe_digest\": \"{:016x}\",\n", s.universe_digest));
-        out.push_str(&format!("      \"snapshot_digest\": \"{:016x}\"\n", s.snapshot_digest));
+        out.push_str(&format!("      \"snapshot_digest\": \"{:016x}\",\n", s.snapshot_digest));
+        out.push_str(&format!("      \"single_query_ns\": {fast_ns:.1},\n"));
+        out.push_str(&format!("      \"single_query_naive_ns\": {naive_ns:.1},\n"));
+        out.push_str(&format!("      \"fastpath_speedup\": {:.3}\n", naive_ns / fast_ns));
         out.push_str(&format!("    }}{}\n", if i + 1 < shards.len() { "," } else { "" }));
     }
     out.push_str("  ],\n");
@@ -370,6 +473,9 @@ pub fn serve_throughput() -> Table {
     // ---- Build the shards and the deterministic workloads -----------------
     let shards: Vec<BuiltShard> =
         SHARDS.iter().enumerate().map(|(i, s)| build_shard(s, i as u64 + 1)).collect();
+    // Single-query microbenchmark before the daemon starts competing for
+    // the CPU: accelerated path vs naive oracle, per shard.
+    let lats: Vec<(f64, f64)> = shards.iter().map(single_query_latency).collect();
     let zipfs: Vec<Zipf> = shards.iter().map(|s| Zipf::new(s.universe.len(), ZIPF_S)).collect();
     let workloads: Vec<ConnWorkload> = (0..connections)
         .map(|c| generate_workload(c as u64, requests_per_conn, batch, &shards, &zipfs))
@@ -425,7 +531,9 @@ pub fn serve_throughput() -> Table {
     };
 
     std::fs::create_dir_all("results").ok();
-    if let Err(e) = std::fs::write(BENCH_PATH, to_json(&shards, &run, tier, repeats, workers)) {
+    if let Err(e) =
+        std::fs::write(BENCH_PATH, to_json(&shards, &lats, &run, tier, repeats, workers))
+    {
         eprintln!("[serve_throughput] failed writing {BENCH_PATH}: {e}");
     }
 
@@ -455,8 +563,21 @@ pub fn serve_throughput() -> Table {
     ));
     t.note(format!(
         "cache after run: {} hits / {} misses; every served answer asserted bit-identical to \
-         the local synopsis.",
+         the naive binary-search trie walk (live fast-path differential check).",
         run.cache_hits, run.cache_misses
     ));
+    for (s, &(fast_ns, naive_ns)) in shards.iter().zip(&lats) {
+        t.note(format!(
+            "{}: {} workload, {:.2} MB corpus, {} nodes — single query {:.0} ns fast vs \
+             {:.0} ns naive ({:.2}× speedup)",
+            s.spec.name,
+            s.spec.workload.as_str(),
+            s.corpus_bytes as f64 / 1e6,
+            s.frozen.node_count(),
+            fast_ns,
+            naive_ns,
+            naive_ns / fast_ns
+        ));
+    }
     t
 }

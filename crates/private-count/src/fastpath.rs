@@ -1,0 +1,295 @@
+//! Branchless hot-path edge probing for the frozen synopsis.
+//!
+//! [`crate::synopsis::FrozenSynopsis::query`] spends essentially its whole
+//! budget in the per-pattern-byte child lookup. The CSR layout answers it
+//! with a branchy `binary_search` over `edge_label[lo..hi]` plus three
+//! dependent loads spread across four arrays — every probe is an
+//! unpredictable branch (patterns are adversarial by design) and two or
+//! more cache lines.
+//!
+//! [`FastPath`] is an *in-memory acceleration structure* derived from the
+//! CSR arrays — never serialized, rebuilt identically by `freeze()` and
+//! `from_bytes()`, so the wire format is untouched and the answers are
+//! bit-identical by construction. Nodes are tiered by fanout:
+//!
+//! * **SWAR blocks** (degree ≤ [`TABLE_MIN_DEGREE`]): out-edges are packed
+//!   into [`EdgeBlock`]s of eight labels in one `u64` *interleaved with
+//!   their eight `u32` targets*, so one pattern byte touches one 40-byte
+//!   record (one or two cache lines) instead of four arrays. The probe is
+//!   branchless: broadcast-XOR the query byte across the label word and
+//!   find the first zero byte with the classic SWAR zero-detect — plain
+//!   `u64` ops, no nightly, no SIMD crates. A node of degree ≤ 8 is a
+//!   single block; mid-fanout nodes scan `⌈degree / 8⌉ ≤ 4` blocks.
+//! * **Direct tables** (degree > [`TABLE_MIN_DEGREE`], up to σ = 256):
+//!   near-root nodes of wide-alphabet corpora (text, logs/URLs) get a
+//!   256-entry child table — an O(1) unconditional load per step.
+//!
+//! The SWAR probe invariant that makes padding safe: the last block of a
+//! node is padded with *copies of the node's last real label* (and last
+//! real target). A probe byte equal to the padding therefore also matches
+//! the real lane, and because the zero-detect reports the **lowest**
+//! matching lane, the real edge always wins; a probe matching nothing
+//! yields an all-zero mask. Leaf nodes are encoded as zero blocks, so a
+//! miss falls out of the same loop with no special case.
+
+/// Degree above which a node gets a direct 256-entry child table instead
+/// of SWAR blocks. At 32 edges a probe scans at most 4 blocks; beyond
+/// that the 1 KiB table is both faster (one load) and rare enough (only
+/// near-root nodes of wide-alphabet tries) that memory is a non-issue.
+pub(crate) const TABLE_MIN_DEGREE: usize = 32;
+
+/// Lane count of one SWAR block: eight `u8` labels per `u64`.
+pub(crate) const SWAR_LANES: usize = 8;
+
+/// Sentinel in direct tables for "no child with this label".
+const NO_CHILD: u32 = u32::MAX;
+
+/// Low bit of every SWAR lane.
+const LANES_LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of every SWAR lane.
+const LANES_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Eight out-edges of one node: the labels packed little-endian into one
+/// `u64` and the parallel targets right next to them, so a probe touches
+/// one 40-byte record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EdgeBlock {
+    labels: u64,
+    targets: [u32; SWAR_LANES],
+}
+
+/// Per-node descriptor, packed into one `u64`:
+/// bit 63 = direct-table flag; otherwise bits 32..40 hold the block count
+/// (0 for leaves, ≤ 4 otherwise) and bits 0..32 the offset into `blocks`
+/// (resp. `tables` for the table tier).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NodeRef(u64);
+
+const TABLE_TAG: u64 = 1 << 63;
+
+impl NodeRef {
+    #[inline]
+    fn blocks(offset: usize, count: usize) -> Self {
+        debug_assert!(offset <= u32::MAX as usize);
+        debug_assert!(count <= TABLE_MIN_DEGREE.div_ceil(SWAR_LANES));
+        Self(((count as u64) << 32) | offset as u64)
+    }
+
+    #[inline]
+    fn table(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        Self(TABLE_TAG | index as u64)
+    }
+
+    #[inline]
+    fn is_table(self) -> bool {
+        self.0 & TABLE_TAG != 0
+    }
+
+    #[inline]
+    fn offset(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    #[inline]
+    fn block_count(self) -> usize {
+        ((self.0 >> 32) & 0xFF) as usize
+    }
+}
+
+/// SWAR lane mask of labels equal to `probe`: broadcast-XOR, then the
+/// classic zero-byte detect `(x − 0x01…) & !x & 0x80…`. Higher lanes can
+/// carry borrow artifacts, but the **lowest** set lane is always a true
+/// match, and that is the only lane [`FastPath::step`] reads.
+#[inline]
+fn swar_eq_mask(labels: u64, probe: u8) -> u64 {
+    let x = labels ^ (LANES_LO.wrapping_mul(probe as u64));
+    x.wrapping_sub(LANES_LO) & !x & LANES_HI
+}
+
+/// The degree-adaptive accelerated edge index over a frozen CSR trie.
+///
+/// Purely derived data: building it from equal CSR arrays yields equal
+/// `FastPath` values (everything is deterministic), so it participates in
+/// `PartialEq` without weakening synopsis equality.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FastPath {
+    node_ref: Vec<NodeRef>,
+    blocks: Vec<EdgeBlock>,
+    tables: Vec<[u32; 256]>,
+}
+
+impl FastPath {
+    /// Builds the tiered layout from validated CSR arrays (one `O(edges)`
+    /// pass). Callers guarantee what `from_bytes` validates: monotone
+    /// offsets spanning the arrays and strictly sorted labels per node.
+    pub(crate) fn build(edge_start: &[u32], edge_label: &[u8], edge_target: &[u32]) -> Self {
+        let n_nodes = edge_start.len() - 1;
+        let mut node_ref = Vec::with_capacity(n_nodes);
+        let mut blocks = Vec::new();
+        let mut tables: Vec<[u32; 256]> = Vec::new();
+        for v in 0..n_nodes {
+            let (lo, hi) = (edge_start[v] as usize, edge_start[v + 1] as usize);
+            let labels = &edge_label[lo..hi];
+            let targets = &edge_target[lo..hi];
+            if labels.len() > TABLE_MIN_DEGREE {
+                let mut table = [NO_CHILD; 256];
+                for (&l, &t) in labels.iter().zip(targets) {
+                    table[l as usize] = t;
+                }
+                node_ref.push(NodeRef::table(tables.len()));
+                tables.push(table);
+            } else {
+                let offset = blocks.len();
+                for chunk in 0..labels.len().div_ceil(SWAR_LANES) {
+                    let base = chunk * SWAR_LANES;
+                    // Pad the final partial block with the node's last
+                    // real (label, target): duplicates of a real lane can
+                    // never steal a lowest-match win from it.
+                    let pad_label = labels[labels.len() - 1];
+                    let pad_target = targets[targets.len() - 1];
+                    let mut word = 0u64;
+                    let mut tgts = [pad_target; SWAR_LANES];
+                    for lane in 0..SWAR_LANES {
+                        let byte = labels.get(base + lane).copied().unwrap_or(pad_label);
+                        word |= (byte as u64) << (8 * lane);
+                        if let Some(&t) = targets.get(base + lane) {
+                            tgts[lane] = t;
+                        }
+                    }
+                    blocks.push(EdgeBlock { labels: word, targets: tgts });
+                }
+                node_ref.push(NodeRef::blocks(offset, blocks.len() - offset));
+            }
+        }
+        Self { node_ref, blocks, tables }
+    }
+
+    /// One branch-lean child step: the frozen id of `node`'s child along
+    /// `byte`, or `None` if no such edge exists.
+    #[inline]
+    pub(crate) fn step(&self, node: u32, byte: u8) -> Option<u32> {
+        let r = self.node_ref[node as usize];
+        if r.is_table() {
+            let t = self.tables[r.offset()][byte as usize];
+            return (t != NO_CHILD).then_some(t);
+        }
+        let off = r.offset();
+        for block in &self.blocks[off..off + r.block_count()] {
+            let mask = swar_eq_mask(block.labels, byte);
+            if mask != 0 {
+                return Some(block.targets[(mask.trailing_zeros() >> 3) as usize]);
+            }
+        }
+        None
+    }
+
+    /// Bytes of auxiliary memory the acceleration layout occupies.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.node_ref.len() * std::mem::size_of::<NodeRef>()
+            + self.blocks.len() * std::mem::size_of::<EdgeBlock>()
+            + self.tables.len() * std::mem::size_of::<[u32; 256]>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference child lookup: the branchy binary search the fast path
+    /// replaces.
+    fn naive_step(
+        edge_start: &[u32],
+        edge_label: &[u8],
+        edge_target: &[u32],
+        node: u32,
+        byte: u8,
+    ) -> Option<u32> {
+        let lo = edge_start[node as usize] as usize;
+        let hi = edge_start[node as usize + 1] as usize;
+        let i = edge_label[lo..hi].binary_search(&byte).ok()?;
+        Some(edge_target[lo + i])
+    }
+
+    /// Builds CSR arrays for a root with the given sorted child labels
+    /// (children are leaves).
+    fn star_csr(labels: &[u8]) -> (Vec<u32>, Vec<u8>, Vec<u32>) {
+        let n = labels.len();
+        let mut edge_start = vec![0u32, n as u32];
+        edge_start.extend(std::iter::repeat_n(n as u32, n));
+        let edge_target: Vec<u32> = (1..=n as u32).collect();
+        (edge_start, labels.to_vec(), edge_target)
+    }
+
+    fn assert_all_probes_agree(labels: &[u8]) {
+        let (es, el, et) = star_csr(labels);
+        let fast = FastPath::build(&es, &el, &et);
+        for probe in 0..=255u8 {
+            assert_eq!(
+                fast.step(0, probe),
+                naive_step(&es, &el, &et, 0, probe),
+                "labels {labels:?}, probe {probe:#04x}"
+            );
+        }
+    }
+
+    #[test]
+    fn swar_mask_finds_lowest_matching_lane() {
+        let word = u64::from_le_bytes([3, 7, 7, 9, 0x80, 0xFF, 0, 1]);
+        for (lane, byte) in [(0u32, 3u8), (1, 7), (3, 9), (4, 0x80), (5, 0xFF), (6, 0)] {
+            let mask = swar_eq_mask(word, byte);
+            assert_ne!(mask, 0, "byte {byte:#04x} must match");
+            assert_eq!(mask.trailing_zeros() >> 3, lane, "byte {byte:#04x}");
+        }
+        assert_eq!(swar_eq_mask(word, 5), 0);
+        assert_eq!(swar_eq_mask(word, 2), 0);
+    }
+
+    #[test]
+    fn every_degree_tier_agrees_with_binary_search() {
+        // Degrees crossing every tier boundary: single partial block,
+        // exactly one block, multi-block, table.
+        for degree in [1usize, 2, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 200, 256] {
+            let labels: Vec<u8> = (0..degree).map(|i| (i * 256 / degree) as u8).collect();
+            assert_all_probes_agree(&labels);
+        }
+    }
+
+    #[test]
+    fn adversarial_label_sets_agree() {
+        // Byte values that exercise SWAR borrow/sign corners, clustered
+        // labels, and probes equal to the padding label.
+        let cases: &[&[u8]] = &[
+            &[0x00],
+            &[0xFF],
+            &[0x00, 0x01, 0x7F, 0x80, 0x81, 0xFE, 0xFF],
+            &[0x7F, 0x80],
+            &[0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48],
+            &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A],
+        ];
+        for labels in cases {
+            assert_all_probes_agree(labels);
+        }
+    }
+
+    #[test]
+    fn leaf_nodes_miss_every_probe() {
+        let (es, el, et) = star_csr(b"a");
+        let fast = FastPath::build(&es, &el, &et);
+        for probe in 0..=255u8 {
+            assert_eq!(fast.step(1, probe), None, "leaf must have no children");
+        }
+    }
+
+    #[test]
+    fn tier_selection_matches_degree() {
+        let (es, el, et) = star_csr(&(0..=255u8).collect::<Vec<_>>());
+        let fast = FastPath::build(&es, &el, &et);
+        assert_eq!(fast.tables.len(), 1, "σ=256 root must be a direct table");
+        let (es, el, et) = star_csr(&[1, 2, 3]);
+        let fast = FastPath::build(&es, &el, &et);
+        assert!(fast.tables.is_empty());
+        assert_eq!(fast.blocks.len(), 1, "degree 3 must pack into one block");
+        assert!(fast.memory_bytes() > 0);
+    }
+}

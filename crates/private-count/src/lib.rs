@@ -35,6 +35,7 @@ pub mod baseline;
 pub mod builder;
 pub mod candidates;
 pub mod codec;
+mod fastpath;
 pub mod mining;
 pub mod pipeline;
 pub mod qgram;

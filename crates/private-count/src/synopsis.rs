@@ -8,9 +8,11 @@
 //! pure post-processing, it can be re-shaped freely with no privacy cost —
 //! so [`FrozenSynopsis::freeze`] performs a one-shot flatten into four
 //! contiguous arrays (breadth-first node order, CSR edge lists with
-//! per-node sorted labels), giving allocation-free `O(|P| log σ)` lookups
-//! with two cache-friendly slices per pattern byte instead of a pointer
-//! walk through scattered arena nodes.
+//! per-node sorted labels), giving allocation-free lookups instead of a
+//! pointer walk through scattered arena nodes. On top of the CSR arrays
+//! sits a derived, never-serialized acceleration index (`fastpath`):
+//! per-node SWAR label blocks or direct child tables, chosen by fanout,
+//! probed branchlessly — one or two cache lines per pattern byte.
 //!
 //! The frozen form is also the *shippable* form: [`FrozenSynopsis::to_bytes`]
 //! / [`FrozenSynopsis::from_bytes`] implement a compact versioned binary
@@ -22,6 +24,7 @@ use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_strkit::trie::Trie;
 
 use crate::codec::{fnv1a, Cursor, DecodeError};
+use crate::fastpath::FastPath;
 use crate::structure::{CountMode, PrivateCountStructure};
 
 /// Magic bytes opening the binary format ("DP Synopsis, Frozen").
@@ -57,6 +60,11 @@ pub struct FrozenSynopsis {
     alpha_absent: f64,
     n_docs: usize,
     max_len: usize,
+    /// Degree-adaptive branchless edge index (SWAR blocks / direct
+    /// tables, see `fastpath`). Derived data: rebuilt identically by
+    /// [`Self::freeze`] and [`Self::from_bytes`], never serialized — the
+    /// wire format is byte-identical to a synopsis without it.
+    fast: FastPath,
 }
 
 impl FrozenSynopsis {
@@ -94,11 +102,13 @@ impl FrozenSynopsis {
             edge_start.push(edge_label.len() as u32);
         }
         let (n_docs, max_len) = structure.db_params();
+        let fast = FastPath::build(&edge_start, &edge_label, &edge_target);
         Self {
             counts,
             edge_start,
             edge_label,
             edge_target,
+            fast,
             mode: structure.mode(),
             privacy: structure.privacy(),
             alpha_counts: structure.alpha_counts(),
@@ -108,9 +118,24 @@ impl FrozenSynopsis {
         }
     }
 
-    /// The frozen node spelling `pattern`, if present.
+    /// The frozen node spelling `pattern`, if present — the branchless
+    /// tiered walk (`fastpath`): one SWAR block probe or direct-table
+    /// load per pattern byte.
     #[inline]
     fn locate(&self, pattern: &[u8]) -> Option<u32> {
+        let mut cur = 0u32;
+        for &b in pattern {
+            cur = self.fast.step(cur, b)?;
+        }
+        Some(cur)
+    }
+
+    /// Reference walk: per-byte binary search over the CSR label ranges.
+    /// Kept (not dead code) as the differential-testing oracle for the
+    /// fast path and as the baseline the serving benchmarks compare
+    /// against; answers are bit-identical to [`Self::locate`].
+    #[inline]
+    fn locate_naive(&self, pattern: &[u8]) -> Option<u32> {
         let mut cur = 0u32;
         for &b in pattern {
             let lo = self.edge_start[cur as usize] as usize;
@@ -121,14 +146,50 @@ impl FrozenSynopsis {
         Some(cur)
     }
 
-    /// Noisy `count_Δ(P, D)`; absent patterns return 0, exactly as
-    /// [`PrivateCountStructure::query`]. Allocation-free, `O(|P| log σ)`.
+    /// Walks four patterns in lockstep, one byte per pattern per
+    /// iteration: the four child-step loads are independent, so the CPU
+    /// overlaps their latencies instead of serializing one walk at a
+    /// time. A finished pattern (exhausted or missed) keeps its state.
     #[inline]
-    pub fn query(&self, pattern: &[u8]) -> f64 {
-        match self.locate(pattern) {
+    fn locate4(&self, pats: [&[u8]; 4]) -> [Option<u32>; 4] {
+        let mut cur = [Some(0u32); 4];
+        let max_len = pats.iter().map(|p| p.len()).max().unwrap_or(0);
+        for d in 0..max_len {
+            for i in 0..4 {
+                if let Some(c) = cur[i] {
+                    if let Some(&b) = pats[i].get(d) {
+                        cur[i] = self.fast.step(c, b);
+                    }
+                }
+            }
+        }
+        cur
+    }
+
+    #[inline]
+    fn count_of(&self, node: Option<u32>) -> f64 {
+        match node {
             Some(v) => self.counts[v as usize],
             None => 0.0,
         }
+    }
+
+    /// Noisy `count_Δ(P, D)`; absent patterns return 0, exactly as
+    /// [`PrivateCountStructure::query`]. Allocation-free; one branchless
+    /// edge probe per pattern byte (`O(|P|)` for fanout ≤ 8 and ≥ 32,
+    /// `O(|P| · ⌈σ/8⌉)` worst case in between).
+    #[inline]
+    pub fn query(&self, pattern: &[u8]) -> f64 {
+        self.count_of(self.locate(pattern))
+    }
+
+    /// [`Self::query`] through the reference binary-search walk — the
+    /// pre-acceleration `O(|P| log σ)` path. Exists so tests, benchmarks
+    /// and the serving load generator can assert, at runtime, that the
+    /// fast path is behaviorally invisible (bit-identical answers).
+    #[inline]
+    pub fn query_naive(&self, pattern: &[u8]) -> f64 {
+        self.count_of(self.locate_naive(pattern))
     }
 
     /// Whether the pattern is represented in the synopsis.
@@ -137,30 +198,56 @@ impl FrozenSynopsis {
         self.locate(pattern).is_some()
     }
 
+    /// [`Self::contains`] through the reference binary-search walk.
+    #[inline]
+    pub fn contains_naive(&self, pattern: &[u8]) -> bool {
+        self.locate_naive(pattern).is_some()
+    }
+
+    /// The lockstep batch kernel: answers `patterns` into `out`
+    /// (equal lengths), four patterns per iteration.
+    fn query_batch_into(&self, patterns: &[&[u8]], out: &mut [f64]) {
+        debug_assert_eq!(patterns.len(), out.len());
+        let mut quads = patterns.chunks_exact(4);
+        let mut outs = out.chunks_exact_mut(4);
+        for (quad, o) in quads.by_ref().zip(outs.by_ref()) {
+            let located = self.locate4([quad[0], quad[1], quad[2], quad[3]]);
+            for (slot, node) in o.iter_mut().zip(located) {
+                *slot = self.count_of(node);
+            }
+        }
+        for (p, slot) in quads.remainder().iter().zip(outs.into_remainder()) {
+            *slot = self.query(p);
+        }
+    }
+
     /// Answers a batch of queries in order. One output allocation; the
-    /// per-pattern lookups are allocation-free.
+    /// per-pattern lookups are allocation-free and advance four patterns
+    /// per iteration ([`Self::locate4`]) to hide load latency.
     pub fn query_batch(&self, patterns: &[&[u8]]) -> Vec<f64> {
-        patterns.iter().map(|p| self.query(p)).collect()
+        let mut out = vec![0.0f64; patterns.len()];
+        self.query_batch_into(patterns, &mut out);
+        out
     }
 
     /// Answers a batch of queries across `threads` scoped worker threads
     /// (clamped to the batch size; `0` means one thread). Same output as
     /// [`Self::query_batch`] — the synopsis is immutable, so workers share
-    /// it by reference.
+    /// it by reference. A single-threaded call (or a batch that fits one
+    /// chunk) takes a direct sequential path: no scope, no spawn.
     pub fn query_batch_parallel(&self, patterns: &[&[u8]], threads: usize) -> Vec<f64> {
         if patterns.is_empty() {
             return Vec::new();
         }
         let threads = threads.clamp(1, patterns.len());
         let chunk = patterns.len().div_ceil(threads);
+        if threads == 1 || chunk >= patterns.len() {
+            return self.query_batch(patterns);
+        }
         let mut out = vec![0.0f64; patterns.len()];
         std::thread::scope(|scope| {
             for (pats, outs) in patterns.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (p, o) in pats.iter().zip(outs.iter_mut()) {
-                        *o = self.query(p);
-                    }
-                });
+                scope.spawn(move || self.query_batch_into(pats, outs));
             }
         });
         out
@@ -206,13 +293,25 @@ impl FrozenSynopsis {
         (self.n_docs, self.max_len)
     }
 
-    /// Size of the serialized form in bytes.
+    /// Size of the serialized form in bytes: derived from the actual
+    /// array lengths and element sizes (plus [`HEADER_LEN`] and the
+    /// trailing checksum), so a layout change cannot silently desync it
+    /// from [`Self::to_bytes`].
     pub fn serialized_len(&self) -> usize {
+        use std::mem::size_of;
         HEADER_LEN
-            + 8 * self.counts.len()
-            + 4 * self.edge_start.len()
-            + 5 * self.edge_label.len()
-            + 8
+            + size_of::<f64>() * self.counts.len()
+            + size_of::<u32>() * self.edge_start.len()
+            + size_of::<u8>() * self.edge_label.len()
+            + size_of::<u32>() * self.edge_target.len()
+            + size_of::<u64>() // trailing FNV-1a checksum
+    }
+
+    /// Bytes of in-memory acceleration data (`fastpath` blocks and
+    /// tables) carried on top of the serialized arrays. Never shipped:
+    /// rebuilt locally on decode.
+    pub fn accel_memory_bytes(&self) -> usize {
+        self.fast.memory_bytes()
     }
 
     /// Serializes to the compact versioned binary format.
@@ -419,11 +518,15 @@ impl FrozenSynopsis {
         } else {
             PrivacyParams::approx(epsilon, delta)
         };
+        // The arrays passed every structural check above, which is all
+        // the acceleration layout assumes.
+        let fast = FastPath::build(&edge_start, &edge_label, &edge_target);
         Ok(Self {
             counts,
             edge_start,
             edge_label,
             edge_target,
+            fast,
             mode,
             privacy,
             alpha_counts,

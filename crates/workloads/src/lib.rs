@@ -15,6 +15,14 @@
 //!   application \[50\] of the paper).
 //! * [`transit_corpus`] — event sequences over a station alphabet where a
 //!   few popular routes dominate (the transit-data application \[19\]).
+//! * [`text_corpus`] — natural-language stand-in: documents are sequences
+//!   of same-length vocabulary tokens joined by a separator byte, with
+//!   token ranks following an *exactly realised* Zipf distribution (the
+//!   per-token occurrence counts are planted, not sampled).
+//! * [`log_corpus`] — access-log / URL stand-in: each line starts with one
+//!   of a small set of planted routes (lowercase + `/` bytes) followed by
+//!   filler drawn from a disjoint byte class, so per-route line counts are
+//!   exact ground truth.
 //!
 //! All generators return validated [`Database`] values and take an explicit
 //! `Rng`, so every experiment is reproducible from its seed.
@@ -178,6 +186,196 @@ pub fn transit_corpus<R: Rng + ?Sized>(
     TransitCorpus { db, routes }
 }
 
+/// Splits `total` into `k` counts following a Zipf(`s`) rank distribution,
+/// summing to **exactly** `total` via cumulative rounding: count `r` is
+/// `round(total·F(r+1)) − round(total·F(r))` for the normalised CDF `F`,
+/// so the telescoping sum is exact and no count is off by more than one
+/// from its real-valued target.
+fn zipf_counts(total: usize, k: usize, s: f64) -> Vec<usize> {
+    assert!(k >= 1);
+    assert!(s >= 0.0, "zipf exponent must be non-negative");
+    let weights: Vec<f64> = (1..=k).map(|r| (r as f64).powf(-s)).collect();
+    let norm: f64 = weights.iter().sum();
+    let mut counts = Vec::with_capacity(k);
+    let mut cum = 0.0;
+    let mut prev = 0usize;
+    for (r, w) in weights.iter().enumerate() {
+        cum += w / norm;
+        // Pin the last boundary to `total` so floating-point drift in the
+        // CDF can never make the counts sum to total ± 1.
+        let next =
+            if r == k - 1 { total } else { ((total as f64 * cum).round() as usize).min(total) };
+        counts.push(next.saturating_sub(prev));
+        prev = prev.max(next);
+    }
+    debug_assert_eq!(counts.iter().sum::<usize>(), total);
+    counts
+}
+
+/// Generates `k` pairwise-distinct byte strings of length `len` where each
+/// byte is produced by `sample`. Panics only if the space is too small to
+/// hold `k` distinct strings (caller asserts that).
+fn distinct_strings<R: Rng + ?Sized>(
+    k: usize,
+    len: usize,
+    rng: &mut R,
+    mut sample: impl FnMut(&mut R, usize) -> u8,
+) -> Vec<Vec<u8>> {
+    let mut seen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let cand: Vec<u8> = (0..len).map(|i| sample(rng, i)).collect();
+        if seen.insert(cand.clone()) {
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// A natural-language-like corpus with an exactly realised Zipf vocabulary.
+#[derive(Debug, Clone)]
+pub struct TextCorpus {
+    /// The database. Alphabet is the contiguous byte range `` `a..z`` plus
+    /// the separator `` ` `` (backtick, `0x60`), σ = 27.
+    pub db: Database,
+    /// The vocabulary by Zipf rank: `(token, occurrences)` where
+    /// `occurrences` is the **exact** number of times the token occurs as a
+    /// substring of the corpus (counted over all documents).
+    pub tokens: Vec<(Vec<u8>, usize)>,
+}
+
+/// Generates `n` documents, each a sequence of `tokens_per_doc` vocabulary
+/// tokens joined by a separator byte. All `vocab` tokens are pairwise
+/// distinct, of identical length `token_len`, and drawn over `a..z`; the
+/// separator (backtick) never appears inside a token. Token ranks follow a
+/// Zipf(`zipf_s`) distribution realised *exactly*: rank `r` fills
+/// `round(T·F(r+1)) − round(T·F(r))` of the `T = n·tokens_per_doc` slots
+/// (cumulative rounding, so the counts telescope to exactly `T`), and slot
+/// positions are a seeded Fisher–Yates shuffle.
+///
+/// Because every token has the same length and the separator byte is not a
+/// token byte, each maximal separator-free run is exactly one slot — a
+/// token occurs as a substring **iff** it occupies a slot. The
+/// `occurrences` recorded in [`TextCorpus::tokens`] are therefore exact
+/// ground truth, mirroring the [`dna_corpus`] planting guarantee.
+pub fn text_corpus<R: Rng + ?Sized>(
+    n: usize,
+    tokens_per_doc: usize,
+    token_len: usize,
+    vocab: usize,
+    zipf_s: f64,
+    rng: &mut R,
+) -> TextCorpus {
+    assert!(n >= 1 && tokens_per_doc >= 1 && token_len >= 1 && vocab >= 1);
+    assert!(
+        (26f64).powf(token_len as f64) >= 4.0 * vocab as f64,
+        "vocabulary too large for distinct tokens of this length"
+    );
+    // Backtick (0x60) immediately precedes 'a': one contiguous range.
+    let alphabet = Alphabet::new(b'`', 27);
+    const SEP: u8 = b'`';
+    let tokens = distinct_strings(vocab, token_len, rng, |r, _| b'a' + r.gen_range(0..26u8));
+
+    let total = n * tokens_per_doc;
+    let counts = zipf_counts(total, vocab, zipf_s);
+    let mut slots: Vec<u32> = Vec::with_capacity(total);
+    for (id, &c) in counts.iter().enumerate() {
+        slots.extend(std::iter::repeat_n(id as u32, c));
+    }
+    // Fisher–Yates: uniform assignment of tokens to slots.
+    for i in (1..slots.len()).rev() {
+        slots.swap(i, rng.gen_range(0..=i));
+    }
+
+    let ell = tokens_per_doc * token_len + (tokens_per_doc - 1);
+    let docs: Vec<Vec<u8>> = slots
+        .chunks_exact(tokens_per_doc)
+        .map(|doc_slots| {
+            let mut doc = Vec::with_capacity(ell);
+            for (j, &t) in doc_slots.iter().enumerate() {
+                if j > 0 {
+                    doc.push(SEP);
+                }
+                doc.extend_from_slice(&tokens[t as usize]);
+            }
+            doc
+        })
+        .collect();
+    let db = Database::new(alphabet, ell, docs).expect("generated documents are valid");
+    TextCorpus { db, tokens: tokens.into_iter().zip(counts).collect() }
+}
+
+/// An access-log-like corpus with exactly counted planted routes.
+#[derive(Debug, Clone)]
+pub struct LogCorpus {
+    /// The database. Alphabet is the contiguous byte range `0x2F..=0x7A`
+    /// (`/`, digits, `:;<=>?@`, uppercase, `` [\]^_` ``, lowercase), σ = 76.
+    pub db: Database,
+    /// The planted routes by Zipf rank: `(route, lines)` where `lines` is
+    /// the **exact** number of log lines (documents) containing the route.
+    pub routes: Vec<(Vec<u8>, usize)>,
+}
+
+/// Generates `n` log lines of length exactly `line_len`. Each line starts
+/// with one of `n_routes` pairwise-distinct planted routes of length
+/// `route_len` (a `/`-prefixed path over lowercase bytes with a `/` every
+/// few characters), followed by filler drawn only from digits, uppercase
+/// and `:=?` — a byte class disjoint from the route bytes. A route can
+/// therefore occur in a line **iff** it was planted there (the line's only
+/// lowercase/`/` region is the length-`route_len` prefix, and routes are
+/// distinct and same-length), so the per-route line counts are exact.
+/// Route popularity follows the same exactly-realised Zipf scheme as
+/// [`text_corpus`].
+pub fn log_corpus<R: Rng + ?Sized>(
+    n: usize,
+    line_len: usize,
+    route_len: usize,
+    n_routes: usize,
+    zipf_s: f64,
+    rng: &mut R,
+) -> LogCorpus {
+    assert!(n >= 1 && n_routes >= 1);
+    assert!(route_len >= 2, "routes need a leading slash plus at least one path byte");
+    assert!(route_len < line_len, "lines must have room for filler after the route");
+    // Free byte positions: everything except the leading slash and the
+    // forced segment breaks at multiples of 6.
+    let free_bytes = route_len - 1 - (route_len - 2) / 6;
+    assert!(
+        (26f64).powf(free_bytes as f64) >= 4.0 * n_routes as f64,
+        "too many routes for distinct paths of this length"
+    );
+    let alphabet = Alphabet::new(b'/', 76);
+    let routes = distinct_strings(n_routes, route_len, rng, |r, i| {
+        // Leading slash, then a segment break every 6 bytes: "/api/users"-ish.
+        if i == 0 || (i % 6 == 0 && i + 1 < route_len) {
+            b'/'
+        } else {
+            b'a' + r.gen_range(0..26u8)
+        }
+    });
+
+    const FILLER: &[u8] = b"0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ:=?";
+    let counts = zipf_counts(n, n_routes, zipf_s);
+    let mut line_route: Vec<u32> = Vec::with_capacity(n);
+    for (id, &c) in counts.iter().enumerate() {
+        line_route.extend(std::iter::repeat_n(id as u32, c));
+    }
+    for i in (1..line_route.len()).rev() {
+        line_route.swap(i, rng.gen_range(0..=i));
+    }
+
+    let docs: Vec<Vec<u8>> = line_route
+        .iter()
+        .map(|&r| {
+            let mut line = routes[r as usize].clone();
+            line.extend((route_len..line_len).map(|_| FILLER[rng.gen_range(0..FILLER.len())]));
+            line
+        })
+        .collect();
+    let db = Database::new(alphabet, line_len, docs).expect("generated documents are valid");
+    LogCorpus { db, routes: routes.into_iter().zip(counts).collect() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +423,62 @@ mod tests {
         assert_eq!(t1.db.documents(), t2.db.documents());
         assert_eq!(t1.routes, t2.routes);
         assert_ne!(t1.db.documents(), t3.db.documents());
+
+        let text = |s: u64| text_corpus(8, 5, 4, 10, 1.0, &mut StdRng::seed_from_u64(s));
+        let (x1, x2, x3) = (text(41), text(41), text(42));
+        assert_eq!(x1.db.documents(), x2.db.documents());
+        assert_eq!(x1.tokens, x2.tokens);
+        assert_ne!(x1.db.documents(), x3.db.documents());
+
+        let log = |s: u64| log_corpus(16, 24, 9, 4, 1.0, &mut StdRng::seed_from_u64(s));
+        let (l1, l2, l3) = (log(41), log(41), log(42));
+        assert_eq!(l1.db.documents(), l2.db.documents());
+        assert_eq!(l1.routes, l2.routes);
+        assert_ne!(l1.db.documents(), l3.db.documents());
+    }
+
+    #[test]
+    fn text_token_occurrences_are_exact() {
+        // Same-length tokens + separator ⇒ a token occurs iff it fills a
+        // slot, so the recorded Zipf counts are exact substring-occurrence
+        // ground truth (the analogue of dna_planted_frequencies_are_exact).
+        let (n, tpd, vocab) = (40, 6, 12);
+        let corpus = text_corpus(n, tpd, 5, vocab, 1.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(corpus.tokens.len(), vocab);
+        let total: usize = corpus.tokens.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, n * tpd, "slot counts must telescope to exactly n·tokens_per_doc");
+        // Zipf counts are non-increasing in rank (up to rounding by one).
+        for w in corpus.tokens.windows(2) {
+            assert!(w[0].1 + 1 >= w[1].1, "rank counts must be non-increasing");
+        }
+        for (tok, planted) in &corpus.tokens {
+            let observed: usize =
+                corpus.db.documents().iter().map(|d| dpsc_strkit::naive_count(tok, d)).sum();
+            assert_eq!(observed, *planted, "token {tok:?}");
+        }
+        // Documents have the exact slot-grid shape.
+        let ell = tpd * 5 + (tpd - 1);
+        assert!(corpus.db.documents().iter().all(|d| d.len() == ell));
+        assert_eq!(corpus.db.n(), n);
+    }
+
+    #[test]
+    fn log_route_line_counts_are_exact() {
+        // Route bytes (lowercase + '/') never appear in filler, and routes
+        // are distinct and same-length, so a route occurs in a line iff it
+        // was planted there.
+        let (n, n_routes) = (60, 5);
+        let corpus = log_corpus(n, 32, 13, n_routes, 1.0, &mut StdRng::seed_from_u64(10));
+        assert_eq!(corpus.routes.len(), n_routes);
+        let total: usize = corpus.routes.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, n, "every line carries exactly one route");
+        for (route, planted) in &corpus.routes {
+            assert_eq!(route[0], b'/');
+            let observed =
+                corpus.db.documents().iter().filter(|d| naive_contains(route, d)).count();
+            assert_eq!(observed, *planted, "route {:?}", String::from_utf8_lossy(route));
+        }
+        assert!(corpus.db.documents().iter().all(|d| d.len() == 32));
     }
 
     #[test]

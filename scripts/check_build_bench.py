@@ -50,7 +50,13 @@ def main() -> int:
             failures.append(f"{name}: present in baseline but missing from current run")
             continue
         c = cur[name]
-        for field in ("n", "ell", "epsilon", "tau", "candidates", "peak_trie_nodes", "digest"):
+        structural = ["n", "ell", "epsilon", "tau", "candidates", "peak_trie_nodes", "digest"]
+        # Added with the multi-workload scenarios; tolerate their absence in
+        # older baselines so the gate stays usable during the transition.
+        for opt in ("workload", "corpus_bytes"):
+            if opt in b:
+                structural.append(opt)
+        for field in structural:
             if b[field] != c[field]:
                 failures.append(
                     f"{name}: structural field {field!r} changed "

@@ -9,6 +9,8 @@ serving path changed behaviour, which is a correctness signal and gets its
 own error message. Throughput is gated per mode: the run fails when QPS
 drops below baseline/<max_slowdown> (default 2.0; loopback TCP on shared CI
 runners is noisy, so the perf gate is looser than the build gate's 1.25).
+The per-shard single-query latency column (the in-process accelerated-path
+microbenchmark) is gated with the same slowdown factor.
 
 Usage: check_serve_bench.py [current.json] [baseline.json] [max_slowdown]
 """
@@ -26,6 +28,13 @@ STRUCTURAL_SHARD_FIELDS = (
     "universe",
     "universe_digest",
     "snapshot_digest",
+)
+
+# Added with the multi-workload shards; tolerated as absent in older
+# baselines so the gate stays usable during the transition.
+OPTIONAL_STRUCTURAL_SHARD_FIELDS = (
+    "workload",
+    "corpus_bytes",
 )
 
 STRUCTURAL_WORKLOAD_FIELDS = (
@@ -62,12 +71,33 @@ def main() -> int:
         if c is None:
             failures.append(f"shard {name}: present in baseline but missing from current run")
             continue
-        for field in STRUCTURAL_SHARD_FIELDS:
+        fields = list(STRUCTURAL_SHARD_FIELDS)
+        fields += [f for f in OPTIONAL_STRUCTURAL_SHARD_FIELDS if f in b]
+        for field in fields:
             if b[field] != c[field]:
                 failures.append(
                     f"shard {name}: structural field {field!r} changed "
                     f"({b[field]!r} -> {c[field]!r}) — served content drifted from baseline"
                 )
+        # Latency column: gate the accelerated single-query path like qps.
+        if "single_query_ns" in b:
+            b_ns, c_ns = b["single_query_ns"], c.get("single_query_ns", float("inf"))
+            ratio = c_ns / b_ns if b_ns else float("inf")
+            status = "OK" if ratio <= max_slowdown else "REGRESSION"
+            print(
+                f"[serve-gate] shard {name}: single query {b_ns:.0f} -> {c_ns:.0f} ns "
+                f"({ratio:.2f}x slower-factor, {c.get('fastpath_speedup', 0):.2f}x vs naive) "
+                f"{status}"
+            )
+            if ratio > max_slowdown:
+                failures.append(
+                    f"shard {name}: single-query latency regressed {ratio:.2f}x "
+                    f"(limit {max_slowdown:.2f}x)"
+                )
+
+    for name in cur_shards:
+        if name not in base_shards:
+            print(f"[serve-gate] shard {name}: new shard (no baseline), informational only")
 
     bw, cw = baseline["workload"], current["workload"]
     for field in STRUCTURAL_WORKLOAD_FIELDS:
