@@ -120,12 +120,18 @@ fn fnv_fold(acc: u64, word: u64) -> u64 {
     (acc ^ word).wrapping_mul(0x0000_0100_0000_01b3)
 }
 
-/// One built shard: the snapshot, its wire bytes, and the deterministic
-/// present-pattern universe the Zipf mix draws from.
+/// One built shard: the snapshot, its wire bytes in every codec dialect,
+/// and the deterministic present-pattern universe the Zipf mix draws
+/// from.
 struct BuiltShard {
     spec: &'static ShardSpec,
     frozen: FrozenSynopsis,
     bytes: Vec<u8>,
+    /// Uncompressed `DPSF` v2: what actually ships to the daemon, so the
+    /// resident snapshots serve *borrowed* from the received buffers.
+    bytes_v2: Vec<u8>,
+    /// Delta-compressed v2 — the size column (`serialized_len_v2`).
+    bytes_v2c: Vec<u8>,
     /// Total generated corpus size (`Database::total_len`).
     corpus_bytes: usize,
     universe: Vec<Vec<u8>>,
@@ -145,6 +151,24 @@ fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
     let frozen = built.freeze();
     let bytes = frozen.to_bytes();
     let snapshot_digest = fnv1a(&bytes);
+    // Both v2 dialects must round-trip canonically, and the compressed
+    // dialect must actually pay for its header on every scenario shard —
+    // these are correctness claims of the codec, checked live like the
+    // served-answer differential.
+    let bytes_v2 = frozen.to_bytes_v2(false);
+    let bytes_v2c = frozen.to_bytes_v2(true);
+    for (dialect, b) in [("v2", &bytes_v2), ("v2 compressed", &bytes_v2c)] {
+        let back = FrozenSynopsis::from_bytes(b).expect("v2 snapshot decodes");
+        assert_eq!(back, frozen, "{dialect} decode drifted on {}", spec.name);
+        assert_eq!(back.to_bytes(), *b, "{dialect} encoding not canonical on {}", spec.name);
+    }
+    assert!(
+        bytes_v2c.len() < bytes.len(),
+        "compressed v2 ({}) must undercut v1 ({}) on {}",
+        bytes_v2c.len(),
+        bytes.len(),
+        spec.name
+    );
 
     // Deterministic present-pattern universe: short substrings of the
     // corpus documents, first-seen order, capped. Rank order is what the
@@ -172,11 +196,45 @@ fn build_shard(spec: &'static ShardSpec, tag: u64) -> BuiltShard {
         spec,
         frozen,
         bytes,
+        bytes_v2,
+        bytes_v2c,
         corpus_bytes: db.total_len(),
         universe,
         universe_digest,
         snapshot_digest,
     }
+}
+
+/// Per-shard cold-load latency: ns per full decode-and-install of the v1
+/// codec ([`FrozenSynopsis::from_bytes`], four array copies) vs the v2
+/// borrowed path ([`FrozenSynopsis::from_bytes_shared`] on uncompressed
+/// v2 bytes, zero array copies — the snapshot points into the shared
+/// buffer). Both validate checksums and structure and rebuild the
+/// accelerated layout, so the delta isolates what borrowing saves.
+/// Min-over-repeats average, like [`single_query_latency`].
+fn cold_load_latency(shard: &BuiltShard) -> (f64, f64) {
+    const REPS: usize = 7;
+    const ITERS: usize = 24;
+    let shared: Arc<[u8]> = shard.bytes_v2.clone().into();
+    let run = |v2: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            for _ in 0..ITERS {
+                let decoded = if v2 {
+                    FrozenSynopsis::from_bytes_shared(Arc::clone(&shared))
+                } else {
+                    FrozenSynopsis::from_bytes(std::hint::black_box(&shard.bytes))
+                }
+                .expect("benchmark snapshot decodes");
+                debug_assert_eq!(decoded.is_borrowed(), v2);
+                std::hint::black_box(&decoded);
+            }
+            best = best.min(t0.elapsed().as_nanos() as f64 / ITERS as f64);
+        }
+        best
+    };
+    (run(false), run(true))
 }
 
 /// Per-shard single-query latency: ns/query over the shard's pattern
@@ -381,6 +439,7 @@ struct RunResult {
 fn to_json(
     shards: &[BuiltShard],
     lats: &[(f64, f64)],
+    cold_lats: &[(f64, f64)],
     run: &RunResult,
     tier: &str,
     repeats: usize,
@@ -404,10 +463,16 @@ fn to_json(
          are deterministic for the seed (digests XOR per-connection FNV-1a streams, so thread \
          interleaving cannot change them). Served answers are asserted bit-identical to the \
          naive binary-search trie walk at runtime; single_query_ns is the in-process \
-         accelerated path, single_query_naive_ns the oracle walk on the same universe.\",\n",
+         accelerated path, single_query_naive_ns the oracle walk on the same universe. \
+         serialized_len_v2 is the delta-compressed DPSF v2 encoding (deterministic); \
+         cold_load_ns is a full v1 decode-and-install, cold_load_v2_ns the v2 zero-copy \
+         borrowed decode of the same snapshot. Snapshots ship to the daemon as \
+         uncompressed v2, so the replay also differentially checks borrowed serving.\",\n",
     );
     out.push_str("  \"shards\": [\n");
-    for (i, (s, &(fast_ns, naive_ns))) in shards.iter().zip(lats).enumerate() {
+    for (i, (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns)))) in
+        shards.iter().zip(lats.iter().zip(cold_lats)).enumerate()
+    {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", s.spec.name));
         out.push_str(&format!("      \"workload\": \"{}\",\n", s.spec.workload.as_str()));
@@ -418,12 +483,15 @@ fn to_json(
         out.push_str(&format!("      \"epsilon\": {},\n", s.spec.epsilon));
         out.push_str(&format!("      \"node_count\": {},\n", s.frozen.node_count()));
         out.push_str(&format!("      \"serialized_len\": {},\n", s.bytes.len()));
+        out.push_str(&format!("      \"serialized_len_v2\": {},\n", s.bytes_v2c.len()));
         out.push_str(&format!("      \"accel_bytes\": {},\n", s.frozen.accel_memory_bytes()));
         out.push_str(&format!("      \"universe\": {},\n", s.universe.len()));
         out.push_str(&format!("      \"universe_digest\": \"{:016x}\",\n", s.universe_digest));
         out.push_str(&format!("      \"snapshot_digest\": \"{:016x}\",\n", s.snapshot_digest));
         out.push_str(&format!("      \"single_query_ns\": {fast_ns:.1},\n"));
         out.push_str(&format!("      \"single_query_naive_ns\": {naive_ns:.1},\n"));
+        out.push_str(&format!("      \"cold_load_ns\": {cold_ns:.1},\n"));
+        out.push_str(&format!("      \"cold_load_v2_ns\": {cold_v2_ns:.1},\n"));
         out.push_str(&format!("      \"fastpath_speedup\": {:.3}\n", naive_ns / fast_ns));
         out.push_str(&format!("    }}{}\n", if i + 1 < shards.len() { "," } else { "" }));
     }
@@ -473,9 +541,11 @@ pub fn serve_throughput() -> Table {
     // ---- Build the shards and the deterministic workloads -----------------
     let shards: Vec<BuiltShard> =
         SHARDS.iter().enumerate().map(|(i, s)| build_shard(s, i as u64 + 1)).collect();
-    // Single-query microbenchmark before the daemon starts competing for
-    // the CPU: accelerated path vs naive oracle, per shard.
+    // In-process microbenchmarks before the daemon starts competing for
+    // the CPU: accelerated path vs naive oracle, and v1 full-copy decode
+    // vs v2 borrowed decode, per shard.
     let lats: Vec<(f64, f64)> = shards.iter().map(single_query_latency).collect();
+    let cold_lats: Vec<(f64, f64)> = shards.iter().map(cold_load_latency).collect();
     let zipfs: Vec<Zipf> = shards.iter().map(|s| Zipf::new(s.universe.len(), ZIPF_S)).collect();
     let workloads: Vec<ConnWorkload> = (0..connections)
         .map(|c| generate_workload(c as u64, requests_per_conn, batch, &shards, &zipfs))
@@ -493,8 +563,16 @@ pub fn serve_throughput() -> Table {
     {
         let mut admin = Client::connect(addr).expect("admin connects");
         for s in &shards {
-            admin.load_snapshot(s.spec.shard_id, &s.bytes).expect("snapshot loads");
+            // Ship uncompressed v2: the daemon installs each shard
+            // *borrowed* from the received buffer, so the whole replay
+            // (answers asserted against the naive walk) doubles as a
+            // differential check of zero-copy serving.
+            admin.load_snapshot(s.spec.shard_id, &s.bytes_v2).expect("snapshot loads");
         }
+    }
+    for s in &shards {
+        let resident = manager.snapshot(s.spec.shard_id).expect("shard resident");
+        assert!(resident.synopsis.is_borrowed(), "{} must serve borrowed", s.spec.name);
     }
 
     // ---- Measure both modes, best-of-repeats ------------------------------
@@ -531,9 +609,10 @@ pub fn serve_throughput() -> Table {
     };
 
     std::fs::create_dir_all("results").ok();
-    if let Err(e) =
-        std::fs::write(BENCH_PATH, to_json(&shards, &lats, &run, tier, repeats, workers))
-    {
+    if let Err(e) = std::fs::write(
+        BENCH_PATH,
+        to_json(&shards, &lats, &cold_lats, &run, tier, repeats, workers),
+    ) {
         eprintln!("[serve_throughput] failed writing {BENCH_PATH}: {e}");
     }
 
@@ -566,17 +645,25 @@ pub fn serve_throughput() -> Table {
          the naive binary-search trie walk (live fast-path differential check).",
         run.cache_hits, run.cache_misses
     ));
-    for (s, &(fast_ns, naive_ns)) in shards.iter().zip(&lats) {
+    for (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns))) in
+        shards.iter().zip(lats.iter().zip(&cold_lats))
+    {
         t.note(format!(
             "{}: {} workload, {:.2} MB corpus, {} nodes — single query {:.0} ns fast vs \
-             {:.0} ns naive ({:.2}× speedup)",
+             {:.0} ns naive ({:.2}× speedup); cold load {:.0} ns v1 vs {:.0} ns v2 borrowed; \
+             snapshot {} B v1, {} B v2 compressed ({:.2}×)",
             s.spec.name,
             s.spec.workload.as_str(),
             s.corpus_bytes as f64 / 1e6,
             s.frozen.node_count(),
             fast_ns,
             naive_ns,
-            naive_ns / fast_ns
+            naive_ns / fast_ns,
+            cold_ns,
+            cold_v2_ns,
+            s.bytes.len(),
+            s.bytes_v2c.len(),
+            s.bytes.len() as f64 / s.bytes_v2c.len() as f64
         ));
     }
     t

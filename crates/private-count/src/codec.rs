@@ -55,6 +55,17 @@ pub enum DecodeError {
         /// Checksum of the bytes actually received.
         computed: u64,
     },
+    /// Stored and recomputed FNV-1a checksums of one named section
+    /// disagree (snapshot codec v2 carries a checksum per section so a
+    /// corrupt section can be named instead of just "the payload").
+    SectionChecksumMismatch {
+        /// Which section is damaged (`"counts"`, `"edge_start"`, …).
+        section: &'static str,
+        /// Checksum carried by the section table.
+        stored: u64,
+        /// Checksum of the section bytes actually received.
+        computed: u64,
+    },
     /// Declared array sizes overflow the platform's address arithmetic.
     SizeOverflow,
     /// A header field holds a value outside its domain (bad mode tag,
@@ -88,6 +99,13 @@ impl fmt::Display for DecodeError {
             Self::ChecksumMismatch { stored, computed } => {
                 write!(f, "checksum mismatch: stored {stored:016x}, computed {computed:016x}")
             }
+            Self::SectionChecksumMismatch { section, stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {section}: \
+                     stored {stored:016x}, computed {computed:016x}"
+                )
+            }
             Self::SizeOverflow => write!(f, "declared sizes overflow"),
             Self::BadField { field, detail } => write!(f, "bad {field}: {detail}"),
             Self::Structural(what) => write!(f, "{what}"),
@@ -108,6 +126,29 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Rejects NaN/±∞ in a decoded float field. Non-finite values poison
+/// every downstream aggregate (and NaN breaks `PartialEq`, turning
+/// round-trip assertions vacuous), so decoders refuse them up front.
+pub(crate) fn require_finite(field: &'static str, value: f64) -> Result<(), DecodeError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(DecodeError::BadField { field, detail: format!("non-finite value {value}") })
+    }
+}
+
+/// Little-endian `u32` at `bytes[off..off + 4]` (caller guarantees range).
+#[inline]
+pub(crate) fn le_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte read"))
+}
+
+/// Little-endian IEEE-754 `f64` at `bytes[off..off + 8]`.
+#[inline]
+pub(crate) fn le_f64(bytes: &[u8], off: usize) -> f64 {
+    f64::from_bits(u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte read")))
 }
 
 /// Length-checked reader over an input buffer. Every accessor returns
@@ -201,6 +242,10 @@ mod tests {
             (DecodeError::BadMagic { found: [0; 4], expected: *b"DPSF" }, "magic"),
             (DecodeError::UnsupportedVersion { found: 9, expected: 1 }, "version"),
             (DecodeError::ChecksumMismatch { stored: 1, computed: 2 }, "checksum mismatch"),
+            (
+                DecodeError::SectionChecksumMismatch { section: "counts", stored: 1, computed: 2 },
+                "checksum mismatch in section counts",
+            ),
             (DecodeError::SizeOverflow, "overflow"),
             (DecodeError::BadField { field: "delta", detail: "-0".into() }, "delta"),
             (DecodeError::Structural("nodes unreachable from the root".into()), "unreachable"),

@@ -68,16 +68,31 @@ struct NodeRef(u64);
 const TABLE_TAG: u64 = 1 << 63;
 
 impl NodeRef {
+    /// Packs a SWAR-block reference. The offset field is 32 bits wide, so
+    /// a synopsis whose block arena outgrows `u32` cannot be represented:
+    /// a `debug_assert!` alone would let a release build wrap the offset
+    /// and silently serve the wrong children, hence the checked
+    /// conversion with a descriptive panic (building such a synopsis is a
+    /// capacity limit, not a recoverable input error).
     #[inline]
     fn blocks(offset: usize, count: usize) -> Self {
-        debug_assert!(offset <= u32::MAX as usize);
+        assert!(
+            offset <= u32::MAX as usize,
+            "fastpath block offset {offset} overflows the 32-bit NodeRef field: \
+             the synopsis exceeds the accelerated layout's 2^32-block capacity"
+        );
         debug_assert!(count <= TABLE_MIN_DEGREE.div_ceil(SWAR_LANES));
         Self(((count as u64) << 32) | offset as u64)
     }
 
+    /// Packs a direct-table reference; checked like [`Self::blocks`].
     #[inline]
     fn table(index: usize) -> Self {
-        debug_assert!(index <= u32::MAX as usize);
+        assert!(
+            index <= u32::MAX as usize,
+            "fastpath table index {index} overflows the 32-bit NodeRef field: \
+             the synopsis exceeds the accelerated layout's 2^32-table capacity"
+        );
         Self(TABLE_TAG | index as u64)
     }
 
@@ -124,37 +139,56 @@ impl FastPath {
     /// pass). Callers guarantee what `from_bytes` validates: monotone
     /// offsets spanning the arrays and strictly sorted labels per node.
     pub(crate) fn build(edge_start: &[u32], edge_label: &[u8], edge_target: &[u32]) -> Self {
-        let n_nodes = edge_start.len() - 1;
+        Self::build_with(
+            edge_start.len() - 1,
+            |v| (edge_start[v] as usize, edge_start[v + 1] as usize),
+            |e| edge_label[e],
+            |e| edge_target[e],
+        )
+    }
+
+    /// Accessor-based variant of [`Self::build`] for storages that do not
+    /// expose contiguous `u32`/`f64` slices (the borrowed snapshot
+    /// representation reads little-endian fields straight out of a shared
+    /// byte buffer). `span(v)` returns the half-open edge range of node
+    /// `v`; `label_at`/`target_at` fetch one edge. Deterministic: equal
+    /// logical arrays produce equal layouts regardless of storage.
+    pub(crate) fn build_with(
+        n_nodes: usize,
+        span: impl Fn(usize) -> (usize, usize),
+        label_at: impl Fn(usize) -> u8,
+        target_at: impl Fn(usize) -> u32,
+    ) -> Self {
         let mut node_ref = Vec::with_capacity(n_nodes);
         let mut blocks = Vec::new();
         let mut tables: Vec<[u32; 256]> = Vec::new();
         for v in 0..n_nodes {
-            let (lo, hi) = (edge_start[v] as usize, edge_start[v + 1] as usize);
-            let labels = &edge_label[lo..hi];
-            let targets = &edge_target[lo..hi];
-            if labels.len() > TABLE_MIN_DEGREE {
+            let (lo, hi) = span(v);
+            let degree = hi - lo;
+            if degree > TABLE_MIN_DEGREE {
                 let mut table = [NO_CHILD; 256];
-                for (&l, &t) in labels.iter().zip(targets) {
-                    table[l as usize] = t;
+                for e in lo..hi {
+                    table[label_at(e) as usize] = target_at(e);
                 }
                 node_ref.push(NodeRef::table(tables.len()));
                 tables.push(table);
             } else {
                 let offset = blocks.len();
-                for chunk in 0..labels.len().div_ceil(SWAR_LANES) {
-                    let base = chunk * SWAR_LANES;
+                for chunk in 0..degree.div_ceil(SWAR_LANES) {
+                    let base = lo + chunk * SWAR_LANES;
                     // Pad the final partial block with the node's last
                     // real (label, target): duplicates of a real lane can
                     // never steal a lowest-match win from it.
-                    let pad_label = labels[labels.len() - 1];
-                    let pad_target = targets[targets.len() - 1];
+                    let pad_label = label_at(hi - 1);
+                    let pad_target = target_at(hi - 1);
                     let mut word = 0u64;
                     let mut tgts = [pad_target; SWAR_LANES];
                     for lane in 0..SWAR_LANES {
-                        let byte = labels.get(base + lane).copied().unwrap_or(pad_label);
+                        let e = base + lane;
+                        let byte = if e < hi { label_at(e) } else { pad_label };
                         word |= (byte as u64) << (8 * lane);
-                        if let Some(&t) = targets.get(base + lane) {
-                            tgts[lane] = t;
+                        if e < hi {
+                            tgts[lane] = target_at(e);
                         }
                     }
                     blocks.push(EdgeBlock { labels: word, targets: tgts });
@@ -279,6 +313,47 @@ mod tests {
         for probe in 0..=255u8 {
             assert_eq!(fast.step(1, probe), None, "leaf must have no children");
         }
+    }
+
+    #[test]
+    fn build_with_accessors_matches_slice_build() {
+        for degree in [1usize, 8, 9, 33, 200] {
+            let labels: Vec<u8> = (0..degree).map(|i| (i * 256 / degree) as u8).collect();
+            let (es, el, et) = star_csr(&labels);
+            let by_slice = FastPath::build(&es, &el, &et);
+            let by_accessor = FastPath::build_with(
+                es.len() - 1,
+                |v| (es[v] as usize, es[v + 1] as usize),
+                |e| el[e],
+                |e| et[e],
+            );
+            assert_eq!(by_slice, by_accessor, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn node_ref_packs_full_u32_range() {
+        // The boundary value must round-trip without colliding with the
+        // table tag (bit 63) or the block-count field (bits 32..40).
+        let r = NodeRef::blocks(u32::MAX as usize, 4);
+        assert!(!r.is_table());
+        assert_eq!(r.offset(), u32::MAX as usize);
+        assert_eq!(r.block_count(), 4);
+        let t = NodeRef::table(u32::MAX as usize);
+        assert!(t.is_table());
+        assert_eq!(t.offset(), u32::MAX as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 32-bit NodeRef field")]
+    fn node_ref_block_offset_past_u32_panics() {
+        let _ = NodeRef::blocks(u32::MAX as usize + 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 32-bit NodeRef field")]
+    fn node_ref_table_index_past_u32_panics() {
+        let _ = NodeRef::table(u32::MAX as usize + 1);
     }
 
     #[test]

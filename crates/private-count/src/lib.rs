@@ -35,6 +35,7 @@ pub mod baseline;
 pub mod builder;
 pub mod candidates;
 pub mod codec;
+mod codec_v2;
 mod fastpath;
 pub mod mining;
 pub mod pipeline;
@@ -51,4 +52,4 @@ pub use mining::{evaluate_mining, frequent_substrings, MiningEvaluation};
 pub use qgram::{build_qgram_pure, QgramParams};
 pub use qgram_fast::{build_qgram_fast, FastQgramParams, PhaseOverflow};
 pub use structure::{CountMode, PrivateCountStructure};
-pub use synopsis::FrozenSynopsis;
+pub use synopsis::{FrozenSynopsis, SnapshotCodec};

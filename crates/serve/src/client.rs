@@ -169,7 +169,7 @@ impl Client {
     /// Installs (or hot-swaps) `shard` from serialized snapshot bytes;
     /// returns the new epoch.
     pub fn load_snapshot(&mut self, shard: u32, snapshot: &[u8]) -> Result<u64, ClientError> {
-        let req = Request::LoadSnapshot { shard, snapshot: snapshot.to_vec() };
+        let req = Request::LoadSnapshot { shard, snapshot: snapshot.to_vec().into() };
         match self.call(&req)? {
             Response::LoadSnapshot { epoch, .. } => Ok(epoch),
             Response::Error { message } => Err(ClientError::Server(message)),

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -87,9 +87,40 @@ impl ServerHandle {
     /// worker pool to drain.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr); // wake the acceptor
+        wake_acceptor(self.addr);
         let _ = self.join.join();
     }
+}
+
+/// The address a *local* throwaway connection can actually reach. A
+/// daemon bound to a wildcard (`0.0.0.0:p` or `[::]:p`) reports the
+/// wildcard as its local address, but connecting *to* the unspecified
+/// address is not reliably routable — so the shutdown wake must aim at
+/// loopback with the bound port instead.
+fn wake_addr(bound: SocketAddr) -> SocketAddr {
+    let ip = match bound.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(ip) if ip.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
+}
+
+/// Wakes a blocked `accept` with a throwaway loopback connection. Bounded
+/// by a short timeout so shutdown can never hang on a dead route; if the
+/// connect fails the acceptor still exits on its next organic wake.
+fn wake_acceptor(bound: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&wake_addr(bound), Duration::from_secs(1));
+}
+
+/// After this many doublings the accept backoff stops growing: 1ms·2⁶ =
+/// 64ms per failed accept, enough to take a fd-exhausted acceptor from a
+/// hot spin to ~16 wakeups/s while staying responsive once fds free up.
+const ACCEPT_BACKOFF_CAP_DOUBLINGS: u32 = 7;
+
+/// Exponential accept-error backoff: 1ms, 2ms, … capped at 64ms.
+fn accept_backoff(consecutive_errors: u32) -> Duration {
+    Duration::from_millis(1 << (consecutive_errors.saturating_sub(1)).min(6))
 }
 
 impl Server {
@@ -123,18 +154,27 @@ impl Server {
             for _ in 0..self.workers {
                 scope.spawn(|| self.worker_loop(&rx));
             }
+            // Consecutive accept failures (EMFILE/ENFILE under fd
+            // exhaustion persists until *something* closes) must not
+            // busy-spin the acceptor at 100% CPU: back off exponentially,
+            // bounded, and reset on the next successful accept.
+            let mut accept_errors = 0u32;
             for conn in self.listener.incoming() {
                 if self.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match conn {
                     Ok(stream) => {
+                        accept_errors = 0;
                         // Send fails only if all workers exited (shutdown).
                         if tx.send(stream).is_err() {
                             break;
                         }
                     }
-                    Err(_) => continue,
+                    Err(_) => {
+                        accept_errors = (accept_errors + 1).min(ACCEPT_BACKOFF_CAP_DOUBLINGS);
+                        std::thread::sleep(accept_backoff(accept_errors));
+                    }
                 }
             }
             drop(tx); // workers drain the queue, then see Err and exit
@@ -270,8 +310,9 @@ impl Server {
             }
             if stop_after_flush {
                 self.shutdown.store(true, Ordering::SeqCst);
-                // Wake the acceptor so `run` can return.
-                let _ = TcpStream::connect(self.local_addr);
+                // Wake the acceptor so `run` can return (via loopback —
+                // the bound address may be a wildcard).
+                wake_acceptor(self.local_addr);
                 break 'conn;
             }
             if peer_closed && buf.is_empty() {
@@ -334,7 +375,10 @@ impl Server {
                 })
             }
             Request::LoadSnapshot { shard, snapshot } => {
-                match self.manager.load_snapshot(shard, &snapshot) {
+                // Shared ownership end to end: an uncompressed v2
+                // snapshot is installed borrowed, pointing into the very
+                // buffer the wire decoder produced — no array copies.
+                match self.manager.load_snapshot_shared(shard, snapshot) {
                     Ok(snap) => {
                         // Later requests in this round must see the new
                         // epoch: drop the stale pin.
@@ -393,5 +437,33 @@ fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
         }
         Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
         Err(_) => ReadOutcome::Fatal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_addr_maps_wildcards_to_loopback() {
+        let v4: SocketAddr = "0.0.0.0:8125".parse().unwrap();
+        assert_eq!(wake_addr(v4), "127.0.0.1:8125".parse().unwrap());
+        let v6: SocketAddr = "[::]:8125".parse().unwrap();
+        assert_eq!(wake_addr(v6), "[::1]:8125".parse().unwrap());
+        // Concrete addresses pass through untouched.
+        let concrete: SocketAddr = "192.0.2.7:9000".parse().unwrap();
+        assert_eq!(wake_addr(concrete), concrete);
+        let lo: SocketAddr = "127.0.0.1:9000".parse().unwrap();
+        assert_eq!(wake_addr(lo), lo);
+    }
+
+    #[test]
+    fn accept_backoff_doubles_then_caps() {
+        assert_eq!(accept_backoff(1), Duration::from_millis(1));
+        assert_eq!(accept_backoff(2), Duration::from_millis(2));
+        assert_eq!(accept_backoff(3), Duration::from_millis(4));
+        assert_eq!(accept_backoff(ACCEPT_BACKOFF_CAP_DOUBLINGS), Duration::from_millis(64));
+        // Saturates: arbitrarily long failure streaks stay at the cap.
+        assert_eq!(accept_backoff(u32::MAX), Duration::from_millis(64));
     }
 }

@@ -95,6 +95,22 @@ impl ShardManager {
         Ok(self.install_arc(shard, synopsis, bytes.len()))
     }
 
+    /// [`Self::load_snapshot`] with shared ownership of the buffer: an
+    /// uncompressed v2 snapshot decodes *borrowed* — after validation its
+    /// arrays point into `bytes`, which the installed [`ShardSnapshot`]
+    /// keeps alive through the synopsis — so installing a shard performs
+    /// zero per-array copies. v1 and compressed-v2 inputs decode owned,
+    /// exactly as [`Self::load_snapshot`].
+    pub fn load_snapshot_shared(
+        &self,
+        shard: u32,
+        bytes: Arc<[u8]>,
+    ) -> Result<Arc<ShardSnapshot>, DecodeError> {
+        let serialized_len = bytes.len();
+        let synopsis = FrozenSynopsis::from_bytes_shared(bytes)?;
+        Ok(self.install_arc(shard, synopsis, serialized_len))
+    }
+
     /// The one swap path. The epoch is allocated *inside* the write
     /// lock: concurrent installs on the same shard then agree that the
     /// snapshot left resident is the one with the highest epoch —
@@ -221,6 +237,23 @@ mod tests {
         let after = m.snapshot(3).unwrap();
         assert_eq!(after.epoch, before, "failed load must not swap");
         assert_eq!(after.synopsis.query(b"a"), 9.0);
+    }
+
+    #[test]
+    fn load_snapshot_shared_serves_borrowed_v2() {
+        let m = ShardManager::new();
+        let f = synopsis(6.5);
+        let shared: Arc<[u8]> = f.to_bytes_v2(false).into();
+        let snap = m.load_snapshot_shared(4, Arc::clone(&shared)).unwrap();
+        assert!(snap.synopsis.is_borrowed(), "uncompressed v2 must serve borrowed");
+        assert_eq!(snap.serialized_len, shared.len());
+        assert_eq!(snap.synopsis.query(b"a"), 6.5);
+        assert_eq!(snap.synopsis, f, "borrowed decode is logically identical");
+        // v1 bytes through the shared path still work (owned fallback).
+        let v1: Arc<[u8]> = f.to_bytes().into();
+        let snap = m.load_snapshot_shared(5, v1).unwrap();
+        assert!(!snap.synopsis.is_borrowed());
+        assert_eq!(snap.synopsis.query(b"a"), 6.5);
     }
 
     #[test]

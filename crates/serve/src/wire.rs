@@ -26,6 +26,8 @@
 //! the ok payload. Floats travel as IEEE-754 bit patterns, so served
 //! counts round-trip bit-exactly.
 
+use std::sync::Arc;
+
 use dpsc_private_count::codec::{fnv1a, Cursor, DecodeError};
 
 /// Magic opening every request body ("DP Serve, Query direction").
@@ -88,8 +90,11 @@ pub enum Request {
     LoadSnapshot {
         /// Corpus id to install the snapshot under.
         shard: u32,
-        /// `FrozenSynopsis::to_bytes` payload.
-        snapshot: Vec<u8>,
+        /// `FrozenSynopsis::to_bytes` payload. Shared ownership so the
+        /// server can hand the buffer to the shard manager without
+        /// copying — an uncompressed v2 snapshot is then served
+        /// *borrowed* straight from these bytes.
+        snapshot: Arc<[u8]>,
     },
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
@@ -330,7 +335,9 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         OP_LOAD_SNAPSHOT => {
             let shard = cur.u32()?;
             let len = cur.usize64()?;
-            Request::LoadSnapshot { shard, snapshot: cur.take(len)?.to_vec() }
+            // The one unavoidable copy: frame buffer → Arc. Everything
+            // downstream (manager install, borrowed v2 decode) shares it.
+            Request::LoadSnapshot { shard, snapshot: cur.take(len)?.into() }
         }
         OP_SHUTDOWN => Request::Shutdown,
         other => {
@@ -541,7 +548,7 @@ mod tests {
             Request::QueryBatch { shard: 1, patterns: Vec::new() },
             Request::Contains { shard: 2, pattern: b"ab".to_vec() },
             Request::Stats,
-            Request::LoadSnapshot { shard: 9, snapshot: vec![1, 2, 3, 4, 5] },
+            Request::LoadSnapshot { shard: 9, snapshot: vec![1, 2, 3, 4, 5].into() },
             Request::Shutdown,
         ]
     }

@@ -30,11 +30,24 @@ STRUCTURAL_SHARD_FIELDS = (
     "snapshot_digest",
 )
 
-# Added with the multi-workload shards; tolerated as absent in older
-# baselines so the gate stays usable during the transition.
+# Added with the multi-workload shards (workload, corpus_bytes) and the
+# v2 snapshot codec (serialized_len_v2, the deterministic delta-compressed
+# encoding size); tolerated as absent in older baselines so the gate stays
+# usable during the transition. When the baseline has them, drift
+# hard-fails like any structural field.
 OPTIONAL_STRUCTURAL_SHARD_FIELDS = (
     "workload",
     "corpus_bytes",
+    "serialized_len_v2",
+)
+
+# Per-shard latency columns gated like qps (current may regress at most
+# max_slowdown over baseline): the in-process single-query microbenchmark
+# and the two cold-load decode paths (v1 full-copy vs v2 borrowed).
+GATED_SHARD_LATENCY_FIELDS = (
+    "single_query_ns",
+    "cold_load_ns",
+    "cold_load_v2_ns",
 )
 
 STRUCTURAL_WORKLOAD_FIELDS = (
@@ -79,20 +92,29 @@ def main() -> int:
                     f"shard {name}: structural field {field!r} changed "
                     f"({b[field]!r} -> {c[field]!r}) — served content drifted from baseline"
                 )
-        # Latency column: gate the accelerated single-query path like qps.
-        if "single_query_ns" in b:
-            b_ns, c_ns = b["single_query_ns"], c.get("single_query_ns", float("inf"))
+        # Latency columns: gate each measured path like qps.
+        for field in GATED_SHARD_LATENCY_FIELDS:
+            if field not in b:
+                continue
+            b_ns, c_ns = b[field], c.get(field, float("inf"))
             ratio = c_ns / b_ns if b_ns else float("inf")
             status = "OK" if ratio <= max_slowdown else "REGRESSION"
             print(
-                f"[serve-gate] shard {name}: single query {b_ns:.0f} -> {c_ns:.0f} ns "
-                f"({ratio:.2f}x slower-factor, {c.get('fastpath_speedup', 0):.2f}x vs naive) "
-                f"{status}"
+                f"[serve-gate] shard {name}: {field} {b_ns:.0f} -> {c_ns:.0f} ns "
+                f"({ratio:.2f}x slower-factor) {status}"
             )
             if ratio > max_slowdown:
                 failures.append(
-                    f"shard {name}: single-query latency regressed {ratio:.2f}x "
-                    f"(limit {max_slowdown:.2f}x)"
+                    f"shard {name}: {field} regressed {ratio:.2f}x (limit {max_slowdown:.2f}x)"
+                )
+        # The compressed v2 encoding must actually be smaller than v1 on
+        # every shard — a deterministic codec property, not a perf gate.
+        if "serialized_len_v2" in c:
+            v1_len, v2_len = c.get("serialized_len"), c["serialized_len_v2"]
+            if v1_len is not None and v2_len >= v1_len:
+                failures.append(
+                    f"shard {name}: compressed v2 snapshot ({v2_len} B) is not smaller "
+                    f"than v1 ({v1_len} B) — the v2 codec lost its size advantage"
                 )
 
     for name in cur_shards:

@@ -279,3 +279,61 @@ fn stats_surface_per_shard_sizes_and_utility_bounds() {
     assert_eq!(s.epsilon, 2.0);
     handle.shutdown();
 }
+
+/// Shipping a v2 uncompressed snapshot over the wire installs it
+/// *borrowed*: the resident synopsis answers straight out of the received
+/// frame buffer (zero per-array copies), bit-identically to a local
+/// decode, and hot-swaps back to owned v1 still work on the same shard.
+#[test]
+fn v2_snapshots_serve_borrowed_over_the_wire() {
+    let (frozen, patterns) = dp_built(35);
+    let v2 = frozen.to_bytes_v2(false);
+    let manager = Arc::new(ShardManager::new());
+    let handle = spawn_daemon(Arc::clone(&manager));
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    client.load_snapshot(1, &v2).expect("v2 snapshot loads");
+    let resident = manager.snapshot(1).expect("shard resident");
+    assert!(resident.synopsis.is_borrowed(), "wire-shipped uncompressed v2 must serve borrowed");
+    assert_eq!(resident.serialized_len, v2.len());
+    for p in &patterns {
+        let served = client.query(1, p).expect("query answered");
+        assert_eq!(served.to_bits(), frozen.query(p).to_bits(), "pattern {p:?}");
+    }
+
+    // Swapping the same shard back to a v1 snapshot lands owned.
+    client.load_snapshot(1, &frozen.to_bytes()).expect("v1 snapshot loads");
+    assert!(!manager.snapshot(1).unwrap().synopsis.is_borrowed());
+    assert!(client.query(1, b"").expect("query answered").is_finite());
+    handle.shutdown();
+}
+
+/// Regression: a daemon bound to the wildcard address must still shut
+/// down promptly. `shutdown` wakes the blocked acceptor with a loopback
+/// connection — connecting to the *bound* `0.0.0.0` address is not
+/// reliably routable, which used to leave the join hanging on platforms
+/// that refuse such connects.
+#[test]
+fn shutdown_wakes_a_wildcard_bound_acceptor() {
+    let (frozen, _) = dp_built(36);
+    let manager = Arc::new(ShardManager::new());
+    let config = ServerConfig { addr: "0.0.0.0:0".to_string(), workers: 2, cache_capacity: 64 };
+    let handle = Server::spawn(config, Arc::clone(&manager)).expect("daemon binds wildcard");
+    assert!(handle.addr().ip().is_unspecified(), "test must exercise a wildcard bind");
+
+    // The daemon is reachable via loopback on the bound port.
+    let mut client = Client::connect(("127.0.0.1", handle.addr().port())).expect("client connects");
+    client.load_snapshot(0, &frozen.to_bytes()).expect("snapshot loads");
+    assert!(client.query(0, b"").expect("query answered").is_finite());
+    drop(client);
+
+    // Bounded shutdown: the join must complete without an organic wake.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("wildcard-bound daemon failed to shut down within 10s");
+}

@@ -35,7 +35,7 @@ fn real_requests() -> Vec<Request> {
         Request::QueryBatch { shard: 1, patterns: patterns.clone() },
         Request::Contains { shard: 2, pattern: patterns[1].clone() },
         Request::Stats,
-        Request::LoadSnapshot { shard: 3, snapshot },
+        Request::LoadSnapshot { shard: 3, snapshot: snapshot.into() },
         Request::Shutdown,
     ]
 }
@@ -142,7 +142,7 @@ fn strided_bit_flips_are_rejected() {
         }
     }
     let (snapshot, _) = built_payload();
-    let big = encode_request(&Request::LoadSnapshot { shard: 0, snapshot });
+    let big = encode_request(&Request::LoadSnapshot { shard: 0, snapshot: snapshot.into() });
     for pos in (4..big.len()).step_by(997) {
         let mut corrupt = big[4..].to_vec();
         corrupt[pos - 4] ^= 0x10;
