@@ -32,6 +32,8 @@
 //! universe. In-process on purpose — loopback round trips cost ~1 µs,
 //! which would swamp the ~100 ns lookup the fast path optimises.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -39,6 +41,7 @@ use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_dpcore::stream::derive_stream as derive_seed;
 use dpsc_private_count::codec::fnv1a;
 use dpsc_private_count::{build_pure, BuildParams, CountMode, FrozenSynopsis};
+use dpsc_serve::wire::{decode_response, encode_request};
 use dpsc_serve::{Client, Request, Response, Server, ServerConfig, ShardManager};
 use dpsc_textindex::CorpusIndex;
 use rand::rngs::StdRng;
@@ -60,6 +63,16 @@ const ZIPF_S: f64 = 1.1;
 const PRESENT_FRAC: f64 = 0.8;
 /// Requests shipped per write in pipelined mode.
 const BURST: usize = 32;
+
+/// Connection counts for the concurrency sweep: the readiness core must
+/// hold every socket of a point open *simultaneously* (enforced with a
+/// barrier between connect and traffic) and answer all of them
+/// bit-identically. 4096 is the 10k-class data point — far beyond
+/// anything a thread-per-connection pool covers.
+const SWEEP_CONNS: [usize; 3] = [16, 256, 4096];
+/// Generator threads for the sweep (each thread multiplexes
+/// `conns/threads` blocking sockets, one outstanding request per socket).
+const SWEEP_THREADS: usize = 8;
 
 struct ShardSpec {
     name: &'static str,
@@ -422,6 +435,119 @@ fn replay(addr: std::net::SocketAddr, workloads: &[ConnWorkload], burst: usize) 
     }
 }
 
+/// One row of the concurrency sweep.
+struct SweepPoint {
+    conns: usize,
+    requests_per_conn: usize,
+    total_queries: usize,
+    elapsed_ns: u128,
+    qps: f64,
+    qps_per_conn: f64,
+    workload_digest: u64,
+    answers_digest: u64,
+}
+
+/// Connects with bounded retries: a 4096-socket storm can transiently
+/// overflow the accept backlog, and a refused/reset connect here is a
+/// retry, not a failure.
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let mut last = None;
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                s.set_nodelay(true).expect("nodelay");
+                return s;
+            }
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+    panic!("sweep generator failed to connect: {last:?}");
+}
+
+/// Reads exactly one response frame from a blocking socket.
+fn read_response_frame(stream: &mut TcpStream) -> Response {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len).expect("response frame length");
+    let mut body = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream.read_exact(&mut body).expect("response frame body");
+    decode_response(&body).expect("response frame decodes")
+}
+
+/// Replays one sweep point: every socket is connected before any request
+/// is sent (a barrier makes "conns sockets simultaneously open" a hard
+/// property, not a race), then each generator thread drives its slice of
+/// sockets in write-all-then-read-all rounds — one outstanding request
+/// per socket, so the round-trips of a slice overlap at the server
+/// without any client-side readiness machinery, and no send/receive
+/// buffer can deadlock (a single request and its response both fit in
+/// the kernel buffers with room to spare). Every answer is asserted
+/// bit-identical to the precomputed naive-walk expectation, same as
+/// [`replay`].
+fn replay_sweep(addr: SocketAddr, workloads: &[ConnWorkload]) -> SweepPoint {
+    let conns = workloads.len();
+    let threads = conns.clamp(1, SWEEP_THREADS);
+    let per_thread = conns.div_ceil(threads);
+    let barrier = std::sync::Barrier::new(threads);
+    // Traffic time only: the clock starts after the barrier (once every
+    // socket of the point is open), so a slow connect storm — retries
+    // sleep 10 ms — cannot masquerade as serving throughput. The point's
+    // elapsed is the slowest thread's traffic window.
+    let elapsed_ns = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for slice in workloads.chunks(per_thread) {
+            let (barrier, elapsed_ns) = (&barrier, &elapsed_ns);
+            scope.spawn(move || {
+                let mut socks: Vec<TcpStream> =
+                    slice.iter().map(|_| connect_with_retry(addr)).collect();
+                barrier.wait(); // all sweep sockets are now open at once
+                let t0 = Instant::now();
+                let rounds = slice.iter().map(|w| w.requests.len()).max().unwrap_or(0);
+                for r in 0..rounds {
+                    for (w, s) in slice.iter().zip(&mut socks) {
+                        if let Some(req) = w.requests.get(r) {
+                            s.write_all(&encode_request(req)).expect("request written");
+                        }
+                    }
+                    for (w, s) in slice.iter().zip(&mut socks) {
+                        let Some(exp) = w.expected.get(r) else { continue };
+                        match read_response_frame(s) {
+                            Response::QueryBatch { values } => {
+                                assert_eq!(values.len(), exp.len());
+                                for (v, e) in values.iter().zip(exp) {
+                                    assert_eq!(
+                                        v.to_bits(),
+                                        e.to_bits(),
+                                        "sweep answer drifted from the local synopsis"
+                                    );
+                                }
+                            }
+                            other => panic!("unexpected sweep response {other:?}"),
+                        }
+                    }
+                }
+                elapsed_ns
+                    .fetch_max(t0.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+    });
+    let elapsed_ns = elapsed_ns.load(std::sync::atomic::Ordering::SeqCst) as u128;
+    let total_queries: usize = workloads.iter().map(|w| w.queries).sum();
+    let qps = total_queries as f64 / (elapsed_ns as f64 / 1e9);
+    SweepPoint {
+        conns,
+        requests_per_conn: workloads.first().map(|w| w.requests.len()).unwrap_or(0),
+        total_queries,
+        elapsed_ns,
+        qps,
+        qps_per_conn: qps / conns.max(1) as f64,
+        workload_digest: workloads.iter().fold(0u64, |acc, w| acc ^ w.workload_digest),
+        answers_digest: workloads.iter().fold(0u64, |acc, w| acc ^ w.answers_digest),
+    }
+}
+
 struct RunResult {
     connections: usize,
     requests_per_conn: usize,
@@ -433,6 +559,13 @@ struct RunResult {
     pipelined: ModeTimes,
     cache_hits: u64,
     cache_misses: u64,
+    sweep: Vec<SweepPoint>,
+    /// Server-reported cumulative pattern count vs the generator's own —
+    /// asserted equal at runtime, recorded for the gate.
+    metrics_patterns_total: u64,
+    generator_patterns_total: u64,
+    metrics_p50_ns: f64,
+    metrics_p99_ns: f64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -467,7 +600,11 @@ fn to_json(
          serialized_len_v2 is the delta-compressed DPSF v2 encoding (deterministic); \
          cold_load_ns is a full v1 decode-and-install, cold_load_v2_ns the v2 zero-copy \
          borrowed decode of the same snapshot. Snapshots ship to the daemon as \
-         uncompressed v2, so the replay also differentially checks borrowed serving.\",\n",
+         uncompressed v2, so the replay also differentially checks borrowed serving. \
+         conn_sweep points hold every socket open simultaneously (barrier-enforced); \
+         their digests are deterministic, qps fields are not. metrics.patterns_total is \
+         the daemon's own counter, asserted equal to generator_patterns_total at \
+         runtime.\",\n",
     );
     out.push_str("  \"shards\": [\n");
     for (i, (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns)))) in
@@ -521,6 +658,34 @@ fn to_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"conn_sweep\": [\n");
+    for (i, p) in run.sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"requests_per_conn\": {}, \"total_queries\": {}, \
+             \"elapsed_ns\": {}, \"qps\": {:.0}, \"qps_per_conn\": {:.2}, \
+             \"workload_digest\": \"{:016x}\", \"answers_digest\": \"{:016x}\"}}{}\n",
+            p.conns,
+            p.requests_per_conn,
+            p.total_queries,
+            p.elapsed_ns,
+            p.qps,
+            p.qps_per_conn,
+            p.workload_digest,
+            p.answers_digest,
+            if i + 1 < run.sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": {\n");
+    out.push_str(&format!(
+        "    \"patterns_total\": {},\n    \"generator_patterns_total\": {},\n",
+        run.metrics_patterns_total, run.generator_patterns_total
+    ));
+    out.push_str(&format!(
+        "    \"latency_p50_ns\": {:.0},\n    \"latency_p99_ns\": {:.0}\n",
+        run.metrics_p50_ns, run.metrics_p99_ns
+    ));
+    out.push_str("  },\n");
     out.push_str(&format!("  \"cache_hits\": {},\n", run.cache_hits));
     out.push_str(&format!("  \"cache_misses\": {}\n", run.cache_misses));
     out.push_str("}\n");
@@ -588,11 +753,54 @@ pub fn serve_throughput() -> Table {
             pipelined = pl;
         }
     }
-    let (cache_hits, cache_misses) = {
+    // ---- Concurrency sweep ------------------------------------------------
+    // One point per entry of `SWEEP_CONNS`, each with every socket held
+    // open simultaneously (barrier-enforced in `replay_sweep`). Request
+    // counts shrink as the connection count grows so each point stays a
+    // few seconds; the *property* under test is held-open concurrency
+    // with bit-identical answers, not per-point duration. Workload seed
+    // tags live in a separate 0x10000-per-point namespace so they can
+    // never collide with the modes streams (tagged 0x0100 + conn).
+    let sweep_reqs: [usize; 3] = if full { [512, 32, 4] } else { [128, 8, 2] };
+    let mut sweep = Vec::with_capacity(SWEEP_CONNS.len());
+    for (pi, (&conns, &reqs)) in SWEEP_CONNS.iter().zip(&sweep_reqs).enumerate() {
+        let point_workloads: Vec<ConnWorkload> = (0..conns)
+            .map(|c| {
+                generate_workload(
+                    0x10000 * (pi as u64 + 1) + c as u64,
+                    reqs,
+                    batch,
+                    &shards,
+                    &zipfs,
+                )
+            })
+            .collect();
+        let point = replay_sweep(addr, &point_workloads);
+        eprintln!(
+            "[serve_throughput] sweep point: {} conns, {:.0} qps ({:.1} qps/conn)",
+            point.conns, point.qps, point.qps_per_conn
+        );
+        sweep.push(point);
+    }
+
+    // ---- Server-side accounting must reconcile with the generator ---------
+    let (cache_hits, cache_misses, report) = {
         let mut admin = Client::connect(addr).expect("admin reconnects");
         let stats = admin.stats().expect("stats answered");
-        (stats.cache.hits, stats.cache.misses)
+        let report = admin.metrics().expect("metrics answered");
+        (stats.cache.hits, stats.cache.misses, report)
     };
+    // The generator knows exactly how many pattern lookups it issued:
+    // both modes replay the full workload once per repeat, plus the sweep
+    // points. If the daemon's counter disagrees, requests were dropped or
+    // double-counted somewhere in the serve path.
+    let generator_patterns_total = (2 * repeats * total_queries) as u64
+        + sweep.iter().map(|p| p.total_queries as u64).sum::<u64>();
+    assert_eq!(
+        report.patterns_total, generator_patterns_total,
+        "daemon metrics lost or invented pattern lookups"
+    );
+    assert_eq!(report.ops.errors, 0, "load run must not produce error responses");
     handle.shutdown();
 
     let run = RunResult {
@@ -606,6 +814,11 @@ pub fn serve_throughput() -> Table {
         pipelined,
         cache_hits,
         cache_misses,
+        sweep,
+        metrics_patterns_total: report.patterns_total,
+        generator_patterns_total,
+        metrics_p50_ns: report.latency_p50_ns,
+        metrics_p99_ns: report.latency_p99_ns,
     };
 
     std::fs::create_dir_all("results").ok();
@@ -634,6 +847,20 @@ pub fn serve_throughput() -> Table {
             format!("{:.1}", m.p99_us),
         ]);
     }
+    // Sweep points share the table; per-request latency is not sampled
+    // there (the property under test is held-open concurrency), so the
+    // percentile columns stay blank and the p50 slot carries qps/conn.
+    for p in &run.sweep {
+        t.row(vec![
+            format!("sweep/{}conns", p.conns),
+            p.conns.to_string(),
+            p.total_queries.to_string(),
+            format!("{:.0}", p.qps),
+            format!("{:.1}/conn", p.qps_per_conn),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
     t.note(format!(
         "tier = {tier}, repeats = {repeats} (best kept), {workers} server workers, batch = \
          {batch} patterns/request, pipelined bursts of {BURST} requests. Zipf(s = {ZIPF_S}) \
@@ -644,6 +871,16 @@ pub fn serve_throughput() -> Table {
         "cache after run: {} hits / {} misses; every served answer asserted bit-identical to \
          the naive binary-search trie walk (live fast-path differential check).",
         run.cache_hits, run.cache_misses
+    ));
+    t.note(format!(
+        "sweep: every point holds all its sockets open simultaneously (barrier between \
+         connect and traffic); daemon metrics reconciled with the generator — \
+         patterns_total {} == generator count {}, 0 error responses, service latency p50 \
+         {:.0} ns / p99 {:.0} ns.",
+        run.metrics_patterns_total,
+        run.generator_patterns_total,
+        run.metrics_p50_ns,
+        run.metrics_p99_ns
     ));
     for (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns))) in
         shards.iter().zip(lats.iter().zip(&cold_lats))

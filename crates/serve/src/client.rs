@@ -13,7 +13,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use dpsc_private_count::codec::DecodeError;
 
-use crate::wire::{decode_response, encode_request, Request, Response, ServerStats, MAX_FRAME_LEN};
+use crate::wire::{
+    decode_response, encode_request, MetricsReport, Request, Response, ServerStats, MAX_FRAME_LEN,
+};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -163,6 +165,16 @@ impl Client {
             Response::Stats(stats) => Ok(stats),
             Response::Error { message } => Err(ClientError::Server(message)),
             _ => Err(ClientError::UnexpectedResponse("Stats")),
+        }
+    }
+
+    /// Operator metrics: served qps, per-op counters, latency
+    /// percentiles, cache hit rate, and per-shard epoch/size.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            _ => Err(ClientError::UnexpectedResponse("Metrics")),
         }
     }
 

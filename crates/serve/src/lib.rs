@@ -21,9 +21,16 @@
 //!   `(shard, epoch, pattern)`, so a hot swap invalidates by
 //!   construction (old epochs become unaddressable) and hits are
 //!   bit-identical to cold walks of the same epoch.
-//! * [`server`] / [`client`] — the scoped-thread TCP daemon with
-//!   per-connection request batching, and the blocking client used by
-//!   the examples, tests, and the `serve_throughput` load generator.
+//! * [`metrics`] — [`MetricsRegistry`](metrics::MetricsRegistry):
+//!   lock-free per-op counters and a fixed-bucket latency histogram,
+//!   snapshotted by the `Metrics` wire op.
+//! * [`poll`] (Linux) — a std-only edge-triggered epoll wrapper plus a
+//!   self-pipe waker, the readiness layer under the default server core.
+//! * [`server`] / [`client`] — the TCP daemon (readiness event loop on
+//!   Linux, portable thread-pool fallback; see
+//!   [`CoreKind`](server::CoreKind)) with per-connection request
+//!   batching, and the blocking client used by the examples, tests, and
+//!   the `serve_throughput` load generator.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -42,12 +49,18 @@
 
 pub mod cache;
 pub mod client;
+pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
 pub use cache::QueryCache;
 pub use client::{Client, ClientError};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use metrics::MetricsRegistry;
+pub use server::{CoreKind, Server, ServerConfig, ServerHandle, ShutdownPolicy};
 pub use shard::{ShardManager, ShardSnapshot};
-pub use wire::{CacheStats, Request, Response, ServerStats, ShardStats};
+pub use wire::{
+    CacheStats, MetricsReport, MetricsShard, OpCounts, Request, Response, ServerStats, ShardStats,
+};

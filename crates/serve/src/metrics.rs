@@ -1,0 +1,264 @@
+//! Operator-visible serving metrics: lock-free counters the request
+//! paths bump on every answered frame, snapshotted on demand by the
+//! `Metrics` wire op.
+//!
+//! Everything is a relaxed atomic — the hot path pays a handful of
+//! uncontended `fetch_add`s per request and the two `Instant::now`
+//! calls bracketing the answer computation. Latency lands in a
+//! fixed-bucket power-of-two histogram ([`LatencyHistogram`]): 64
+//! buckets cover the full `u64` nanosecond range, so recording is one
+//! `leading_zeros` plus one `fetch_add` and quantiles are a 64-entry
+//! scan — no allocation, no locks, no sampling. The reported p50/p99
+//! are therefore bucket-resolution estimates (≤ 2× truncation error),
+//! which is the right trade for a counter that every request touches.
+//!
+//! The registry counts *served work*, not wire bytes: `patterns_total`
+//! is the number of individual pattern lookups answered (a `QueryBatch`
+//! of 16 counts as 16), which is what the benchmark's closed-loop
+//! generator reconciles its own counts against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::wire::{CacheStats, MetricsReport, MetricsShard, OpCounts};
+
+/// Request kinds the registry tracks, one counter each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// [`crate::wire::Request::Query`]
+    Query,
+    /// [`crate::wire::Request::QueryBatch`]
+    QueryBatch,
+    /// [`crate::wire::Request::Contains`]
+    Contains,
+    /// [`crate::wire::Request::Stats`]
+    Stats,
+    /// [`crate::wire::Request::LoadSnapshot`]
+    LoadSnapshot,
+    /// [`crate::wire::Request::Metrics`]
+    Metrics,
+    /// [`crate::wire::Request::Shutdown`]
+    Shutdown,
+}
+
+const OP_KINDS: usize = 7;
+
+/// 64 power-of-two buckets over nanoseconds: bucket `b` holds samples
+/// with `floor(log2(max(v, 1))) == b`, i.e. `[2^b, 2^(b+1))` (bucket 0
+/// also absorbs 0 ns).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    fn bucket(ns: u64) -> usize {
+        63 - (ns | 1).leading_zeros() as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the midpoint of the bucket the
+    /// quantile sample fell into; 0.0 when empty. Accurate to bucket
+    /// resolution (a factor of 2 in the worst case).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Midpoint of [2^b, 2^(b+1)); bucket 0 represents ~1 ns.
+                return 1.5 * (1u64 << b) as f64;
+            }
+        }
+        unreachable!("quantile target exceeds total");
+    }
+}
+
+/// The daemon-wide metrics state. One instance per [`crate::Server`],
+/// shared by whichever core (readiness or thread-pool) serves traffic.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    start: Instant,
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    ops: [AtomicU64; OP_KINDS],
+    errors: AtomicU64,
+    patterns: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry; uptime starts now.
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            conns_accepted: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            ops: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: AtomicU64::new(0),
+            patterns: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// A connection was accepted.
+    pub fn conn_opened(&self) {
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection ended (any reason).
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One request answered: bumps the op counter, adds `patterns`
+    /// individual lookups, and records the service latency (time spent
+    /// computing the answer, network excluded).
+    pub fn record(&self, op: OpKind, patterns: u64, latency_ns: u64) {
+        self.ops[op as usize].fetch_add(1, Ordering::Relaxed);
+        if patterns > 0 {
+            self.patterns.fetch_add(patterns, Ordering::Relaxed);
+        }
+        self.latency.record(latency_ns);
+    }
+
+    /// One error response sent (malformed frame, unknown shard, rejected
+    /// snapshot, refused shutdown, …).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Individual pattern lookups answered so far.
+    pub fn patterns_total(&self) -> u64 {
+        self.patterns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots everything into a wire-ready report. `cache` and
+    /// `shards` come from the server (the registry does not own them).
+    pub fn report(&self, cache: CacheStats, shards: Vec<MetricsShard>) -> MetricsReport {
+        let uptime_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let patterns_total = load(&self.patterns);
+        let qps =
+            if uptime_ns == 0 { 0.0 } else { patterns_total as f64 / (uptime_ns as f64 / 1e9) };
+        let lookups = cache.hits + cache.misses;
+        MetricsReport {
+            uptime_ns,
+            conns_accepted: load(&self.conns_accepted),
+            conns_open: load(&self.conns_open),
+            ops: OpCounts {
+                query: load(&self.ops[OpKind::Query as usize]),
+                query_batch: load(&self.ops[OpKind::QueryBatch as usize]),
+                contains: load(&self.ops[OpKind::Contains as usize]),
+                stats: load(&self.ops[OpKind::Stats as usize]),
+                load_snapshot: load(&self.ops[OpKind::LoadSnapshot as usize]),
+                metrics: load(&self.ops[OpKind::Metrics as usize]),
+                shutdown: load(&self.ops[OpKind::Shutdown as usize]),
+                errors: load(&self.errors),
+            },
+            patterns_total,
+            qps,
+            latency_p50_ns: self.latency.quantile(0.50),
+            latency_p99_ns: self.latency.quantile(0.99),
+            cache,
+            cache_hit_rate: if lookups == 0 { 0.0 } else { cache.hits as f64 / lookups as f64 },
+            shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(1023), 9);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_track_the_mass() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram reports 0");
+        // 99 samples near 1 µs, 1 sample near 1 ms: p50 sits in the µs
+        // bucket, p995+ in the ms bucket.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!((512.0..2048.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((512.0..2048.0).contains(&p99), "p99 = {p99} (99/100 samples are ~1 µs)");
+        let p995 = h.quantile(0.995);
+        assert!(p995 >= 524_288.0, "p995 = {p995} must reach the ms bucket");
+    }
+
+    #[test]
+    fn registry_counts_ops_patterns_and_conns() {
+        let m = MetricsRegistry::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.record(OpKind::Query, 1, 800);
+        m.record(OpKind::QueryBatch, 16, 5_000);
+        m.record(OpKind::Stats, 0, 300);
+        m.record_error();
+        let report = m.report(
+            CacheStats { hits: 3, misses: 1, entries: 4, capacity: 64 },
+            vec![MetricsShard { shard_id: 2, epoch: 9, serialized_len: 1234 }],
+        );
+        assert_eq!(report.conns_accepted, 2);
+        assert_eq!(report.conns_open, 1);
+        assert_eq!(report.ops.query, 1);
+        assert_eq!(report.ops.query_batch, 1);
+        assert_eq!(report.ops.stats, 1);
+        assert_eq!(report.ops.errors, 1);
+        assert_eq!(report.patterns_total, 17);
+        assert!(report.qps > 0.0);
+        assert!(report.latency_p50_ns > 0.0);
+        assert!((report.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(report.shards.len(), 1);
+        assert_eq!(report.shards[0].epoch, 9);
+    }
+}

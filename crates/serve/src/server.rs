@@ -1,21 +1,37 @@
-//! The TCP serving daemon: a scoped-thread worker pool answering wire
-//! frames over [`ShardManager`] shards with per-connection request
-//! batching and the epoch-keyed [`QueryCache`].
+//! The TCP serving daemon, with two interchangeable cores behind one
+//! `Server` API:
 //!
-//! ## Architecture
-//! One acceptor (the thread that called [`Server::run`]) hands accepted
-//! connections to `workers` pool threads through an mpsc channel; each
-//! worker owns one connection at a time for its whole lifetime. Inside a
-//! connection the worker *pipelines*: it blocks for the first complete
-//! frame, then opportunistically drains every further byte the client
-//! has already sent (non-blocking reads into the connection buffer),
-//! decodes all complete frames, answers them in order against snapshots
-//! pinned once per drain round, and flushes all responses in a single
-//! write. A client that ships 50 requests back-to-back pays one syscall
-//! round instead of 50.
+//! * **Readiness core** (Linux, the default): a single event-loop thread
+//!   multiplexing every connection over [`crate::poll`]'s edge-triggered
+//!   epoll wrapper. Each connection is an explicit state machine
+//!   (`ReadingFrame → Answering → Writing{offset}`) over the incremental
+//!   frame decoder; accept is non-blocking; shutdown is a self-pipe
+//!   write (no poll interval); and a per-connection outbound high-water
+//!   mark provides write backpressure (reading pauses — `EPOLLIN`
+//!   deregistered — until the queue drains). Concurrency is bounded by
+//!   fds, not threads: 10k+ connections are one thread and one epoll
+//!   set.
+//! * **Thread-pool core** (portable fallback, and selectable for tests):
+//!   the original acceptor + `workers` scoped threads, each owning one
+//!   connection at a time, with 100 ms read-timeout shutdown polls.
+//!   Concurrency is capped at `workers`; connections beyond that queue.
+//!
+//! Both cores share the request path ([`Server::answer`]), the
+//! per-round snapshot pinning that keeps every `QueryBatch` on exactly
+//! one epoch, the [`QueryCache`], the [`MetricsRegistry`] counters, and
+//! the connection-lifecycle contract:
+//!
+//! * a **corrupt length prefix** — first frame or fiftieth — is answered
+//!   with an error frame, the answer is flushed, and only then is the
+//!   connection closed (the stream cannot be resynchronized, but the
+//!   client always learns why it was dropped);
+//! * **`Shutdown` is gated** by [`ShutdownPolicy`] on the peer address
+//!   (loopback-only by default — a daemon bound to a wildcard address
+//!   must not be killable by anyone who can reach the port); refused
+//!   peers get an error response and stay connected.
 //!
 //! ## Consistency invariant
-//! For each drain round the worker pins at most one [`ShardSnapshot`]
+//! For each processing round a core pins at most one [`ShardSnapshot`]
 //! per shard id (first use pins it; a `LoadSnapshot` in the middle of a
 //! round un-pins, so later requests see the new epoch). Every individual
 //! request — in particular every `QueryBatch` — is therefore answered
@@ -29,13 +45,74 @@ use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::cache::QueryCache;
+use crate::metrics::{MetricsRegistry, OpKind};
 use crate::shard::{ShardManager, ShardSnapshot};
 use crate::wire::{
     decode_request, encode_response, frame_len, CacheStats, Request, Response, ServerStats,
 };
+
+/// Which serving core [`Server::run`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreKind {
+    /// Readiness core on Linux, thread-pool elsewhere.
+    #[default]
+    Auto,
+    /// The epoll event loop. Falls back to [`CoreKind::ThreadPool`] on
+    /// platforms without the poller.
+    Readiness,
+    /// The portable blocking worker pool.
+    ThreadPool,
+}
+
+impl CoreKind {
+    /// The core that will actually run on this platform.
+    pub fn resolved(self) -> CoreKind {
+        match self {
+            CoreKind::ThreadPool => CoreKind::ThreadPool,
+            CoreKind::Auto | CoreKind::Readiness => {
+                if cfg!(target_os = "linux") {
+                    CoreKind::Readiness
+                } else {
+                    CoreKind::ThreadPool
+                }
+            }
+        }
+    }
+}
+
+/// Who may ask the daemon to exit over the wire. The default is
+/// loopback-only: a daemon bound to `0.0.0.0` serves queries to anyone
+/// but takes `Shutdown` only from the local machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShutdownPolicy {
+    /// Honor `Shutdown` only from loopback peers (including
+    /// IPv4-mapped-in-IPv6 loopback).
+    #[default]
+    LoopbackOnly,
+    /// Honor `Shutdown` from any connected peer (pre-gate behavior; for
+    /// deployments behind a trusted network boundary).
+    AllowRemote,
+    /// Refuse `Shutdown` from everyone; only [`ServerHandle::shutdown`]
+    /// can stop the daemon.
+    Deny,
+}
+
+/// Whether `policy` lets a peer at `peer` shut the daemon down.
+fn shutdown_allowed(policy: ShutdownPolicy, peer: IpAddr) -> bool {
+    match policy {
+        ShutdownPolicy::AllowRemote => true,
+        ShutdownPolicy::Deny => false,
+        ShutdownPolicy::LoopbackOnly => match peer {
+            IpAddr::V4(ip) => ip.is_loopback(),
+            IpAddr::V6(ip) => {
+                ip.is_loopback() || ip.to_ipv4_mapped().is_some_and(|v4| v4.is_loopback())
+            }
+        },
+    }
+}
 
 /// Tuning knobs for [`Server`].
 #[derive(Debug, Clone)]
@@ -43,17 +120,48 @@ pub struct ServerConfig {
     /// Address to bind; port 0 picks an ephemeral port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads (each serves one connection at a time). Clamped to
-    /// at least 1.
+    /// Worker threads for the thread-pool core (each serves one
+    /// connection at a time; clamped to at least 1). The readiness core
+    /// ignores this — its concurrency is per-fd, not per-thread.
     pub workers: usize,
     /// Total query-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Which core serves traffic.
+    pub core: CoreKind,
+    /// Who may shut the daemon down over the wire.
+    pub shutdown_policy: ShutdownPolicy,
+    /// Per-connection outbound high-water mark in bytes (readiness core):
+    /// above it the connection stops reading (and answering) until the
+    /// peer drains its responses. The budget is checked between frames,
+    /// so one response can always be queued no matter how small this is
+    /// (clamped to ≥ 1 KiB to keep re-arm churn sane).
+    pub write_high_water: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), workers: 4, cache_capacity: 8192 }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            cache_capacity: 8192,
+            core: CoreKind::Auto,
+            shutdown_policy: ShutdownPolicy::LoopbackOnly,
+            write_high_water: 1 << 20,
+        }
     }
+}
+
+/// A cloneable handle that wakes the readiness event loop from another
+/// thread. On platforms without the poller this is a unit stub — the
+/// thread-pool core is woken by a loopback connect instead.
+#[cfg(target_os = "linux")]
+type LoopWaker = crate::poll::Waker;
+#[cfg(not(target_os = "linux"))]
+#[derive(Debug, Clone)]
+struct LoopWaker;
+#[cfg(not(target_os = "linux"))]
+impl LoopWaker {
+    fn wake(&self) {}
 }
 
 /// The serving daemon. Bind with [`Server::bind`], then either block the
@@ -64,8 +172,15 @@ pub struct Server {
     local_addr: SocketAddr,
     manager: Arc<ShardManager>,
     cache: QueryCache,
+    metrics: Arc<MetricsRegistry>,
     workers: usize,
+    core: CoreKind,
+    shutdown_policy: ShutdownPolicy,
+    write_high_water: usize,
     shutdown: Arc<AtomicBool>,
+    /// Filled by the readiness loop on startup so [`ServerHandle`] can
+    /// wake it; `None` while (or wherever) the thread-pool core runs.
+    waker: Arc<Mutex<Option<LoopWaker>>>,
 }
 
 /// Handle to a daemon detached via [`Server::spawn`].
@@ -73,6 +188,7 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Arc<Mutex<Option<LoopWaker>>>,
     join: std::thread::JoinHandle<()>,
 }
 
@@ -83,11 +199,19 @@ impl ServerHandle {
     }
 
     /// Stops the daemon and joins its threads: sets the shutdown flag,
-    /// wakes the acceptor with a throwaway connection, and waits for the
-    /// worker pool to drain.
+    /// wakes the core (self-pipe for the event loop, a throwaway
+    /// loopback connection for the blocking acceptor), and waits for the
+    /// serving thread to drain.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        wake_acceptor(self.addr);
+        let waker = self.waker.lock().expect("waker slot not poisoned").clone();
+        match waker {
+            Some(w) => w.wake(),
+            // Thread-pool core, or an event loop that has not registered
+            // its waker yet: a loopback connect wakes either (the pending
+            // accept is observed by whichever core starts).
+            None => wake_acceptor(self.addr),
+        }
         let _ = self.join.join();
     }
 }
@@ -113,14 +237,35 @@ fn wake_acceptor(bound: SocketAddr) {
     let _ = TcpStream::connect_timeout(&wake_addr(bound), Duration::from_secs(1));
 }
 
-/// After this many doublings the accept backoff stops growing: 1ms·2⁶ =
-/// 64ms per failed accept, enough to take a fd-exhausted acceptor from a
-/// hot spin to ~16 wakeups/s while staying responsive once fds free up.
-const ACCEPT_BACKOFF_CAP_DOUBLINGS: u32 = 7;
+/// After this many doublings the accept backoff stops growing:
+/// 1 ms · 2⁶ = 64 ms per failed accept, enough to take a fd-exhausted
+/// acceptor from a hot spin to ~16 wakeups/s while staying responsive
+/// once fds free up. The shift below derives directly from this
+/// constant, so the cap lives in exactly one place.
+const ACCEPT_BACKOFF_CAP_DOUBLINGS: u32 = 6;
 
-/// Exponential accept-error backoff: 1ms, 2ms, … capped at 64ms.
+/// Exponential accept-error backoff: 1 ms, 2 ms, … capped at
+/// 2^[`ACCEPT_BACKOFF_CAP_DOUBLINGS`] ms.
 fn accept_backoff(consecutive_errors: u32) -> Duration {
-    Duration::from_millis(1 << (consecutive_errors.saturating_sub(1)).min(6))
+    Duration::from_millis(
+        1 << (consecutive_errors.saturating_sub(1)).min(ACCEPT_BACKOFF_CAP_DOUBLINGS),
+    )
+}
+
+/// Bound on buffered-but-unanswered inbound bytes per connection per
+/// round. Whatever stays unread waits in the kernel buffer — TCP
+/// backpressure — for the next round.
+const DRAIN_CAP: usize = 4 << 20;
+
+/// What one processing round did to a connection.
+#[derive(Debug, Default)]
+struct RoundStatus {
+    /// A corrupt length prefix was hit: the error response is queued and
+    /// the connection must close once it is flushed.
+    corrupt: bool,
+    /// An honored `Shutdown` request: the ack is queued; the daemon
+    /// stops once it is flushed.
+    shutdown: bool,
 }
 
 impl Server {
@@ -133,8 +278,13 @@ impl Server {
             local_addr,
             manager,
             cache: QueryCache::new(config.cache_capacity),
+            metrics: Arc::new(MetricsRegistry::new()),
             workers: config.workers.max(1),
+            core: config.core,
+            shutdown_policy: config.shutdown_policy,
+            write_high_water: config.write_high_water.max(1024),
             shutdown: Arc::new(AtomicBool::new(false)),
+            waker: Arc::new(Mutex::new(None)),
         })
     }
 
@@ -143,11 +293,48 @@ impl Server {
         self.local_addr
     }
 
-    /// Runs the accept loop on the calling thread and the worker pool on
-    /// scoped threads; returns after shutdown (via a `Shutdown` frame or
-    /// a [`ServerHandle`]). Worker threads borrow the server state
-    /// directly — the scope guarantees they end before `run` returns.
+    /// The core this server will serve with on this platform.
+    pub fn core(&self) -> CoreKind {
+        self.core.resolved()
+    }
+
+    /// The daemon's metrics registry (shared with whichever core runs).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Serves until shutdown (via an admitted `Shutdown` frame or a
+    /// [`ServerHandle`]), blocking the calling thread. Dispatches to the
+    /// resolved [`CoreKind`].
     pub fn run(&self) {
+        match self.core.resolved() {
+            #[cfg(target_os = "linux")]
+            CoreKind::Readiness => self.run_readiness(),
+            _ => self.run_thread_pool(),
+        }
+    }
+
+    /// Binds and detaches the daemon onto a background thread.
+    pub fn spawn(
+        config: ServerConfig,
+        manager: Arc<ShardManager>,
+    ) -> std::io::Result<ServerHandle> {
+        let server = Self::bind(config, manager)?;
+        let addr = server.local_addr();
+        let shutdown = Arc::clone(&server.shutdown);
+        let waker = Arc::clone(&server.waker);
+        let join = std::thread::spawn(move || server.run());
+        Ok(ServerHandle { addr, shutdown, waker, join })
+    }
+
+    // ------------------------------------------------------------------
+    // The portable thread-pool core.
+    // ------------------------------------------------------------------
+
+    /// Runs the accept loop on the calling thread and the worker pool on
+    /// scoped threads; workers borrow the server state directly — the
+    /// scope guarantees they end before `run` returns.
+    fn run_thread_pool(&self) {
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
         let rx = Mutex::new(rx);
         std::thread::scope(|scope| {
@@ -172,25 +359,13 @@ impl Server {
                         }
                     }
                     Err(_) => {
-                        accept_errors = (accept_errors + 1).min(ACCEPT_BACKOFF_CAP_DOUBLINGS);
+                        accept_errors = accept_errors.saturating_add(1);
                         std::thread::sleep(accept_backoff(accept_errors));
                     }
                 }
             }
             drop(tx); // workers drain the queue, then see Err and exit
         });
-    }
-
-    /// Binds and detaches the daemon onto a background thread.
-    pub fn spawn(
-        config: ServerConfig,
-        manager: Arc<ShardManager>,
-    ) -> std::io::Result<ServerHandle> {
-        let server = Self::bind(config, manager)?;
-        let addr = server.local_addr();
-        let shutdown = Arc::clone(&server.shutdown);
-        let join = std::thread::spawn(move || server.run());
-        Ok(ServerHandle { addr, shutdown, join })
     }
 
     fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>) {
@@ -209,6 +384,7 @@ impl Server {
     /// Serves one connection to completion (client close, shutdown, or a
     /// fatal framing/IO error).
     fn handle_connection(&self, stream: TcpStream) {
+        self.metrics.conn_opened();
         let _ = stream.set_nodelay(true);
         // A finite read timeout turns blocking reads into shutdown polls.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -217,22 +393,26 @@ impl Server {
         // failing with TimedOut/WouldBlock drops the connection below),
         // which would otherwise also hang ServerHandle::shutdown's join.
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        // An unknowable peer cannot be loopback: shutdown stays gated.
+        let peer = stream.peer_addr().map(|a| a.ip()).unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
         let mut stream = stream;
-        let mut buf: Vec<u8> = Vec::with_capacity(4096);
+        let mut buf = RecvBuf::new();
         let mut out: Vec<u8> = Vec::with_capacity(4096);
         let mut peer_closed = false;
 
         'conn: loop {
             // Phase 1: block (in timeout slices) until one complete frame.
+            // A corrupt length prefix falls through to the processing
+            // round, which queues the error response — same error-then-
+            // close contract as a corrupt frame later in the stream.
             loop {
-                match frame_len(&buf) {
-                    Err(_) => break 'conn, // corrupt length: unrecoverable stream
-                    Ok(Some(_)) => break,
+                match frame_len(buf.filled()) {
+                    Err(_) | Ok(Some(_)) => break,
                     Ok(None) => {
                         if peer_closed || self.shutdown.load(Ordering::SeqCst) {
                             break 'conn;
                         }
-                        match read_chunk(&mut stream, &mut buf) {
+                        match buf.read_from(&mut stream) {
                             ReadOutcome::Data => {}
                             ReadOutcome::WouldBlock => {}
                             ReadOutcome::Closed => peer_closed = true,
@@ -243,16 +423,11 @@ impl Server {
             }
 
             // Phase 2: drain whatever else the client already sent, up to
-            // a bounded backlog. The bound matters: on a fast link a
-            // client that pipelines non-stop would otherwise keep this
-            // loop in `Data` forever and grow `buf` without limit (the
-            // per-frame cap bounds one frame, not the connection buffer).
-            // Whatever stays unread waits in the kernel buffer — TCP
-            // backpressure — for the next round.
-            const DRAIN_CAP: usize = 4 << 20;
+            // a bounded backlog (the per-frame cap bounds one frame, not
+            // the connection buffer).
             if !peer_closed && stream.set_nonblocking(true).is_ok() {
                 while buf.len() < DRAIN_CAP {
-                    match read_chunk(&mut stream, &mut buf) {
+                    match buf.read_from(&mut stream) {
                         ReadOutcome::Data => {}
                         ReadOutcome::WouldBlock => break,
                         ReadOutcome::Closed => {
@@ -265,64 +440,136 @@ impl Server {
                 let _ = stream.set_nonblocking(false);
             }
 
-            // Phase 3: decode every complete frame in the buffer.
-            let mut requests: Vec<Result<Request, String>> = Vec::new();
-            let mut consumed = 0usize;
-            loop {
-                match frame_len(&buf[consumed..]) {
-                    Err(e) => {
-                        // Unrecoverable: answer what we have plus the error,
-                        // then drop the connection.
-                        requests.push(Err(e.to_string()));
-                        consumed = buf.len();
-                        peer_closed = true;
-                        break;
-                    }
-                    Ok(None) => break,
-                    Ok(Some(total)) => {
-                        let body = &buf[consumed + 4..consumed + total];
-                        requests.push(decode_request(body).map_err(|e| e.to_string()));
-                        consumed += total;
-                    }
-                }
-            }
-            buf.drain(..consumed);
-
-            // Phase 4: answer the whole round, pinning one snapshot per
-            // shard, and flush in a single write.
-            let mut pinned: HashMap<u32, Option<Arc<ShardSnapshot>>> = HashMap::new();
+            // Phase 3: decode + answer every complete frame, then flush
+            // the whole round in a single write.
             out.clear();
-            let mut stop_after_flush = false;
-            for req in requests {
-                let resp = match req {
-                    Err(message) => Response::Error { message },
-                    Ok(req) => {
-                        if matches!(req, Request::Shutdown) {
-                            stop_after_flush = true;
-                        }
-                        self.answer(req, &mut pinned)
-                    }
-                };
-                out.extend_from_slice(&encode_response(&resp));
-            }
+            let status = self.process_round(&mut buf, &mut out, peer, usize::MAX);
             if !out.is_empty() && stream.write_all(&out).is_err() {
                 break 'conn;
             }
-            if stop_after_flush {
+            if status.shutdown {
                 self.shutdown.store(true, Ordering::SeqCst);
                 // Wake the acceptor so `run` can return (via loopback —
                 // the bound address may be a wildcard).
                 wake_acceptor(self.local_addr);
                 break 'conn;
             }
+            if status.corrupt {
+                break 'conn; // error response flushed above
+            }
             if peer_closed && buf.is_empty() {
                 break 'conn;
             }
         }
+        self.metrics.conn_closed();
+    }
+
+    // ------------------------------------------------------------------
+    // The shared request path.
+    // ------------------------------------------------------------------
+
+    /// Decodes and answers every complete frame in `buf`, appending the
+    /// encoded responses to `out`, until the buffer has no complete
+    /// frame, a corrupt length prefix is hit (error queued, `corrupt`
+    /// set), or `out` exceeds `out_budget` (write backpressure: the
+    /// remaining frames stay buffered for the next round). Snapshots are
+    /// pinned per shard for the duration of the round.
+    fn process_round(
+        &self,
+        buf: &mut RecvBuf,
+        out: &mut Vec<u8>,
+        peer: IpAddr,
+        out_budget: usize,
+    ) -> RoundStatus {
+        let mut status = RoundStatus::default();
+        let mut pinned: HashMap<u32, Option<Arc<ShardSnapshot>>> = HashMap::new();
+        loop {
+            if out.len() > out_budget {
+                break;
+            }
+            match frame_len(buf.filled()) {
+                Ok(None) => break,
+                Err(e) => {
+                    // Unrecoverable stream: answer with the reason, then
+                    // close once it is flushed. Resynchronizing an LE
+                    // byte stream after a corrupt length is not possible.
+                    self.metrics.record_error();
+                    out.extend_from_slice(&encode_response(&Response::Error {
+                        message: e.to_string(),
+                    }));
+                    buf.consume(buf.len());
+                    status.corrupt = true;
+                    break;
+                }
+                Ok(Some(total)) => {
+                    let resp = match decode_request(&buf.filled()[4..total]) {
+                        Err(e) => {
+                            self.metrics.record_error();
+                            Response::Error { message: e.to_string() }
+                        }
+                        Ok(req) => {
+                            let (resp, initiate) = self.answer_timed(req, &mut pinned, peer);
+                            status.shutdown |= initiate;
+                            resp
+                        }
+                    };
+                    out.extend_from_slice(&encode_response(&resp));
+                    buf.consume(total);
+                }
+            }
+        }
+        status
+    }
+
+    /// Answers one request with metrics instrumentation (op counter,
+    /// pattern count, service latency, error counter) and the shutdown
+    /// gate. Returns the response and whether an admitted `Shutdown`
+    /// should stop the daemon.
+    fn answer_timed(
+        &self,
+        req: Request,
+        pinned: &mut HashMap<u32, Option<Arc<ShardSnapshot>>>,
+        peer: IpAddr,
+    ) -> (Response, bool) {
+        let (op, patterns) = match &req {
+            Request::Query { .. } => (OpKind::Query, 1),
+            Request::QueryBatch { patterns, .. } => (OpKind::QueryBatch, patterns.len() as u64),
+            Request::Contains { .. } => (OpKind::Contains, 1),
+            Request::Stats => (OpKind::Stats, 0),
+            Request::LoadSnapshot { .. } => (OpKind::LoadSnapshot, 0),
+            Request::Metrics => (OpKind::Metrics, 0),
+            Request::Shutdown => (OpKind::Shutdown, 0),
+        };
+        let t0 = Instant::now();
+        let mut initiate = false;
+        let resp = if matches!(req, Request::Shutdown) {
+            if shutdown_allowed(self.shutdown_policy, peer) {
+                initiate = true;
+                Response::Shutdown
+            } else {
+                Response::Error {
+                    message: format!(
+                        "shutdown refused: peer {peer} not admitted by {:?} policy",
+                        self.shutdown_policy
+                    ),
+                }
+            }
+        } else {
+            self.answer(req, pinned)
+        };
+        let latency_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if matches!(resp, Response::Error { .. }) {
+            self.metrics.record_error();
+            self.metrics.record(op, 0, latency_ns);
+        } else {
+            self.metrics.record(op, patterns, latency_ns);
+        }
+        (resp, initiate)
     }
 
     /// Answers one request. `pinned` caches the snapshot per shard for
-    /// the current drain round (see the module docs for the invariant).
+    /// the current round (see the module docs for the invariant).
+    /// `Shutdown` is handled (and gated) by [`Server::answer_timed`].
     fn answer(
         &self,
         req: Request,
@@ -364,16 +611,11 @@ impl Server {
                         ),
                     };
                 }
-                Response::Stats(ServerStats {
-                    cache: CacheStats {
-                        hits: self.cache.hits(),
-                        misses: self.cache.misses(),
-                        entries: self.cache.entries() as u64,
-                        capacity: self.cache.capacity() as u64,
-                    },
-                    shards,
-                })
+                Response::Stats(ServerStats { cache: self.cache_stats(), shards })
             }
+            Request::Metrics => Response::Metrics(
+                self.metrics.report(self.cache_stats(), self.manager.metrics_shards()),
+            ),
             Request::LoadSnapshot { shard, snapshot } => {
                 // Shared ownership end to end: an uncompressed v2
                 // snapshot is installed borrowed, pointing into the very
@@ -392,6 +634,15 @@ impl Server {
                 }
             }
             Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache.hits(),
+            misses: self.cache.misses(),
+            entries: self.cache.entries() as u64,
+            capacity: self.cache.capacity() as u64,
         }
     }
 
@@ -423,20 +674,436 @@ enum ReadOutcome {
     Fatal,
 }
 
-/// One `read` into `buf`'s tail, classifying the result.
-fn read_chunk(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
-    let mut chunk = [0u8; 16 * 1024];
-    match stream.read(&mut chunk) {
-        Ok(0) => ReadOutcome::Closed,
-        Ok(n) => {
-            buf.extend_from_slice(&chunk[..n]);
-            ReadOutcome::Data
+/// Read size per syscall.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// The inbound frame buffer: reads land directly in the buffer's tail
+/// (no intermediate stack copy) and decoded frames advance a consumed
+/// offset instead of `drain`-memmoving the unread remainder on every
+/// round. Compaction happens only when the writable tail runs out, and
+/// then moves just the unconsumed remainder (usually a partial frame).
+#[derive(Debug)]
+struct RecvBuf {
+    data: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl RecvBuf {
+    fn new() -> Self {
+        Self { data: Vec::new(), start: 0, end: 0 }
+    }
+
+    /// The unconsumed bytes.
+    fn filled(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Marks `n` leading bytes of [`Self::filled`] as decoded.
+    fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.len());
+        self.start += n;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
         }
-        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-            ReadOutcome::WouldBlock
+    }
+
+    /// One `read` into the buffer's tail, classifying the result.
+    fn read_from(&mut self, stream: &mut TcpStream) -> ReadOutcome {
+        if self.data.len() - self.end < READ_CHUNK {
+            if self.start > 0 {
+                // Reclaim the consumed prefix before growing.
+                self.data.copy_within(self.start..self.end, 0);
+                self.end -= self.start;
+                self.start = 0;
+            }
+            if self.data.len() - self.end < READ_CHUNK {
+                // Zeroing happens only on growth; steady-state reads
+                // reuse the allocation.
+                self.data.resize(self.end + READ_CHUNK, 0);
+            }
         }
-        Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
-        Err(_) => ReadOutcome::Fatal,
+        match stream.read(&mut self.data[self.end..]) {
+            Ok(0) => ReadOutcome::Closed,
+            Ok(n) => {
+                self.end += n;
+                ReadOutcome::Data
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                ReadOutcome::WouldBlock
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => ReadOutcome::WouldBlock,
+            Err(_) => ReadOutcome::Fatal,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The readiness (epoll) core.
+// ----------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod readiness {
+    use super::*;
+    use crate::poll::{Events, Interest, Poller, WakePipe};
+    use std::os::fd::AsRawFd;
+
+    /// Event-buffer capacity per `epoll_wait`.
+    const EVENT_BATCH: usize = 1024;
+    /// How long shutdown waits for queued acks/errors to flush before
+    /// closing connections anyway.
+    const SHUTDOWN_FLUSH_BUDGET: Duration = Duration::from_secs(1);
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKE: u64 = 1;
+    const TOKEN_CONN_BASE: u64 = 2;
+
+    /// The per-connection state machine. The daemon-facing states are
+    /// explicit:
+    ///
+    /// ```text
+    /// ReadingFrame ──complete frame──► Answering ──responses queued──► Writing{offset}
+    ///      ▲                             (transient, same wake)              │
+    ///      └──────────── outbound queue drained below high water ────────────┘
+    /// ```
+    ///
+    /// `ReadingFrame` is "out queue empty, `EPOLLIN` armed"; `Answering`
+    /// happens inline while processing a wake; `Writing{offset}` is "out
+    /// queue non-empty, `EPOLLOUT` armed, `offset` bytes already sent" —
+    /// with `EPOLLIN` dropped whenever the pending output exceeds the
+    /// high-water mark (write backpressure).
+    struct Conn {
+        stream: TcpStream,
+        peer: IpAddr,
+        generation: u32,
+        buf: RecvBuf,
+        /// Queued output; `sent` is the `Writing{offset}` cursor.
+        out: Vec<u8>,
+        sent: usize,
+        /// The interest set currently registered with the poller.
+        interest: Interest,
+        peer_closed: bool,
+        /// Close once `out` is flushed (corrupt stream or honored
+        /// shutdown ack).
+        closing: bool,
+        /// This connection carries the shutdown ack; the loop ends when
+        /// it is flushed.
+        shutdown_ack: bool,
+    }
+
+    impl Conn {
+        fn pending_out(&self) -> usize {
+            self.out.len() - self.sent
+        }
+    }
+
+    /// What a pump pass decided about the connection.
+    enum Pump {
+        Keep,
+        Close,
+    }
+
+    impl Server {
+        /// The readiness event loop: one thread, one epoll set, every
+        /// connection multiplexed. See the module docs for the state
+        /// machine and invariants.
+        pub(super) fn run_readiness(&self) {
+            let poller = match Poller::new() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("[dpsc-serve] epoll unavailable ({e}); thread-pool fallback");
+                    return self.run_thread_pool();
+                }
+            };
+            let wake = match WakePipe::new() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("[dpsc-serve] self-pipe unavailable ({e}); thread-pool fallback");
+                    return self.run_thread_pool();
+                }
+            };
+            if self.listener.set_nonblocking(true).is_err()
+                || poller.add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ).is_err()
+                || poller.add(wake.read_fd(), TOKEN_WAKE, Interest::READ).is_err()
+            {
+                eprintln!("[dpsc-serve] poller registration failed; thread-pool fallback");
+                let _ = self.listener.set_nonblocking(false);
+                return self.run_thread_pool();
+            }
+            if let Ok(waker) = wake.waker() {
+                *self.waker.lock().expect("waker slot not poisoned") = Some(waker);
+            }
+
+            let mut conns: Vec<Option<Conn>> = Vec::new();
+            let mut free: Vec<usize> = Vec::new();
+            let mut generation: u32 = 0;
+            let mut events = Events::with_capacity(EVENT_BATCH);
+            let mut accept_errors = 0u32;
+            let mut shutdown_deadline: Option<Instant> = None;
+
+            'event_loop: loop {
+                let shutting_down = self.shutdown.load(Ordering::SeqCst);
+                if shutting_down {
+                    // Exit once no ack is pending (or the flush budget is
+                    // spent); until then, poll with a short timeout so a
+                    // wedged ack peer cannot hold shutdown hostage.
+                    let deadline = *shutdown_deadline
+                        .get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_BUDGET);
+                    let acks_pending =
+                        conns.iter().flatten().any(|c| c.shutdown_ack && c.pending_out() > 0);
+                    if !acks_pending || Instant::now() >= deadline {
+                        break 'event_loop;
+                    }
+                }
+                let timeout = if shutting_down { Some(50) } else { None };
+                let n = match poller.wait(&mut events, timeout) {
+                    Ok(n) => n,
+                    Err(_) => break 'event_loop,
+                };
+                if n == 0 && !shutting_down {
+                    continue;
+                }
+                let batch: Vec<crate::poll::Event> = events.iter().collect();
+                for ev in batch {
+                    match ev.token {
+                        TOKEN_WAKE => wake.drain(),
+                        TOKEN_LISTENER => {
+                            if self.shutdown.load(Ordering::SeqCst) {
+                                continue;
+                            }
+                            accept_errors = self.accept_ready(
+                                &poller,
+                                &mut conns,
+                                &mut free,
+                                &mut generation,
+                                accept_errors,
+                            );
+                        }
+                        token => {
+                            let idx = (token & 0xFFFF_FFFF) as usize - TOKEN_CONN_BASE as usize;
+                            let gen = (token >> 32) as u32;
+                            let Some(slot) = conns.get_mut(idx) else { continue };
+                            let Some(conn) = slot.as_mut() else { continue };
+                            if conn.generation != gen {
+                                continue; // stale event for a recycled slot
+                            }
+                            let verdict =
+                                if ev.error { Pump::Close } else { self.pump(&poller, conn, idx) };
+                            if matches!(verdict, Pump::Close) {
+                                let conn = slot.take().expect("checked above");
+                                let _ = poller.delete(conn.stream.as_raw_fd());
+                                free.push(idx);
+                                self.metrics.conn_closed();
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Teardown: every remaining connection closes; the listener
+            // returns to blocking mode so a later `run` works either way.
+            for conn in conns.into_iter().flatten() {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+                drop(conn.stream);
+                self.metrics.conn_closed();
+            }
+            let _ = self.listener.set_nonblocking(false);
+            *self.waker.lock().expect("waker slot not poisoned") = None;
+        }
+
+        /// Accepts until `WouldBlock`, registering each connection for
+        /// read interest. Returns the updated consecutive-error count
+        /// (the same bounded backoff as the thread-pool acceptor).
+        fn accept_ready(
+            &self,
+            poller: &Poller,
+            conns: &mut Vec<Option<Conn>>,
+            free: &mut Vec<usize>,
+            generation: &mut u32,
+            mut accept_errors: u32,
+        ) -> u32 {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, peer)) => {
+                        accept_errors = 0;
+                        if stream.set_nonblocking(true).is_err() {
+                            continue; // a socket we cannot drive; drop it
+                        }
+                        let _ = stream.set_nodelay(true);
+                        *generation = generation.wrapping_add(1);
+                        let idx = free.pop().unwrap_or_else(|| {
+                            conns.push(None);
+                            conns.len() - 1
+                        });
+                        let token = conn_token(idx, *generation);
+                        if poller.add(stream.as_raw_fd(), token, Interest::READ).is_err() {
+                            free.push(idx);
+                            continue;
+                        }
+                        conns[idx] = Some(Conn {
+                            stream,
+                            peer: peer.ip(),
+                            generation: *generation,
+                            buf: RecvBuf::new(),
+                            out: Vec::new(),
+                            sent: 0,
+                            interest: Interest::READ,
+                            peer_closed: false,
+                            closing: false,
+                            shutdown_ack: false,
+                        });
+                        self.metrics.conn_opened();
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return accept_errors,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        // EMFILE and friends: the pending connection stays
+                        // in the backlog. Bounded sleep (the event loop
+                        // owns this thread, so a sleep here is the same
+                        // trade the blocking acceptor makes) keeps a
+                        // fd-exhausted daemon from spinning hot.
+                        accept_errors = accept_errors.saturating_add(1);
+                        std::thread::sleep(accept_backoff(accept_errors));
+                        return accept_errors;
+                    }
+                }
+            }
+        }
+
+        /// Drives one connection as far as readiness allows: drain reads
+        /// (edge-triggered contract), answer buffered frames within the
+        /// write budget, flush, and re-arm the right interest set.
+        fn pump(&self, poller: &Poller, conn: &mut Conn, idx: usize) -> Pump {
+            let high_water = self.write_high_water;
+            loop {
+                // Answer whatever is already buffered, bounded by the
+                // write budget (backpressure pauses answering too — the
+                // unanswered frames stay in `buf`).
+                if !conn.closing {
+                    // The budget bounds *pending* (unsent) output: `out`
+                    // may still carry a flushed-but-uncompacted prefix of
+                    // `sent` bytes, which must not eat the allowance.
+                    let budget = conn.sent.saturating_add(high_water);
+                    let status =
+                        self.process_round(&mut conn.buf, &mut conn.out, conn.peer, budget);
+                    if status.shutdown {
+                        self.shutdown.store(true, Ordering::SeqCst);
+                        conn.shutdown_ack = true;
+                        conn.closing = true;
+                    }
+                    if status.corrupt {
+                        conn.closing = true;
+                    }
+                }
+                match flush_out(conn) {
+                    FlushOutcome::Fatal => return Pump::Close,
+                    FlushOutcome::Blocked | FlushOutcome::Drained => {}
+                }
+                if conn.pending_out() == 0 && conn.closing {
+                    return Pump::Close;
+                }
+                // Over the high-water mark (or closing): reading — and
+                // therefore answering — pauses until the peer drains.
+                if conn.closing || conn.pending_out() > high_water {
+                    break;
+                }
+                if conn.peer_closed {
+                    match frame_len(conn.buf.filled()) {
+                        // Still answerable frames (or a corrupt length to
+                        // report): another round.
+                        Ok(Some(_)) | Err(_) => continue,
+                        // Nothing left (or an unfinishable partial frame):
+                        // flush whatever is queued, then close.
+                        Ok(None) => {
+                            conn.closing = true;
+                            continue;
+                        }
+                    }
+                }
+                match conn.buf.read_from(&mut conn.stream) {
+                    ReadOutcome::Data => continue,
+                    ReadOutcome::WouldBlock => match frame_len(conn.buf.filled()) {
+                        // The socket is dry but the write budget left
+                        // complete frames unanswered (the flush freed
+                        // room since): keep answering — no readable
+                        // event will come for bytes already read.
+                        Ok(Some(_)) | Err(_) => continue,
+                        // Settled: back to ReadingFrame.
+                        Ok(None) => break,
+                    },
+                    ReadOutcome::Closed => {
+                        conn.peer_closed = true;
+                        continue;
+                    }
+                    ReadOutcome::Fatal => return Pump::Close,
+                }
+            }
+            // Re-arm: readable unless backpressured/closing, writable
+            // while output is pending.
+            let want = Interest {
+                readable: !conn.closing && conn.pending_out() <= high_water && !conn.peer_closed,
+                writable: conn.pending_out() > 0,
+            };
+            if (want.readable || want.writable) && want != conn.interest {
+                let token = conn_token(idx, conn.generation);
+                if poller.modify(conn.stream.as_raw_fd(), token, want).is_err() {
+                    return Pump::Close;
+                }
+                conn.interest = want;
+            }
+            Pump::Keep
+        }
+    }
+
+    fn conn_token(idx: usize, generation: u32) -> u64 {
+        ((generation as u64) << 32) | (idx as u64 + TOKEN_CONN_BASE)
+    }
+
+    enum FlushOutcome {
+        /// Everything queued went out.
+        Drained,
+        /// The kernel buffer filled; `EPOLLOUT` will resume.
+        Blocked,
+        /// The connection is dead.
+        Fatal,
+    }
+
+    /// Writes as much queued output as the socket accepts, advancing the
+    /// `Writing{offset}` cursor; resets the queue when fully drained.
+    fn flush_out(conn: &mut Conn) -> FlushOutcome {
+        let outcome = loop {
+            if conn.sent == conn.out.len() {
+                break FlushOutcome::Drained;
+            }
+            match conn.stream.write(&conn.out[conn.sent..]) {
+                Ok(0) => return FlushOutcome::Fatal,
+                Ok(n) => conn.sent += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break FlushOutcome::Blocked,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return FlushOutcome::Fatal,
+            }
+        };
+        // Reclaim the flushed prefix: free on a full drain, an amortized
+        // memmove of the (high-water-bounded) remainder when the prefix
+        // gets large — without this a long-lived connection that always
+        // keeps a little backlog would grow `out` without bound.
+        if conn.sent == conn.out.len() {
+            conn.out.clear();
+            conn.sent = 0;
+        } else if conn.sent >= 64 * 1024 {
+            conn.out.drain(..conn.sent);
+            conn.sent = 0;
+        }
+        outcome
     }
 }
 
@@ -462,8 +1129,65 @@ mod tests {
         assert_eq!(accept_backoff(1), Duration::from_millis(1));
         assert_eq!(accept_backoff(2), Duration::from_millis(2));
         assert_eq!(accept_backoff(3), Duration::from_millis(4));
-        assert_eq!(accept_backoff(ACCEPT_BACKOFF_CAP_DOUBLINGS), Duration::from_millis(64));
-        // Saturates: arbitrarily long failure streaks stay at the cap.
-        assert_eq!(accept_backoff(u32::MAX), Duration::from_millis(64));
+        // The cap is derived from the constant: one more error than the
+        // doubling cap reaches the ceiling…
+        let cap_ms = 1u64 << ACCEPT_BACKOFF_CAP_DOUBLINGS;
+        assert_eq!(accept_backoff(ACCEPT_BACKOFF_CAP_DOUBLINGS + 1), Duration::from_millis(cap_ms));
+        // …and arbitrarily long failure streaks stay there.
+        assert_eq!(accept_backoff(u32::MAX), Duration::from_millis(cap_ms));
+        assert_eq!(accept_backoff(u32::MAX), accept_backoff(ACCEPT_BACKOFF_CAP_DOUBLINGS + 1));
+    }
+
+    #[test]
+    fn shutdown_gate_admits_loopback_rejects_remote() {
+        use ShutdownPolicy::*;
+        let lo4: IpAddr = "127.0.0.1".parse().unwrap();
+        let lo4_high: IpAddr = "127.0.0.53".parse().unwrap();
+        let lo6: IpAddr = "::1".parse().unwrap();
+        let mapped_lo: IpAddr = "::ffff:127.0.0.1".parse().unwrap();
+        let remote4: IpAddr = "192.0.2.7".parse().unwrap();
+        let remote6: IpAddr = "2001:db8::1".parse().unwrap();
+        let unspecified: IpAddr = "0.0.0.0".parse().unwrap();
+
+        // Default policy: every loopback spelling is admitted…
+        for ip in [lo4, lo4_high, lo6, mapped_lo] {
+            assert!(shutdown_allowed(LoopbackOnly, ip), "{ip} is loopback");
+        }
+        // …and nothing else is (including the unknowable-peer sentinel).
+        for ip in [remote4, remote6, unspecified] {
+            assert!(!shutdown_allowed(LoopbackOnly, ip), "{ip} is not loopback");
+        }
+
+        // AllowRemote admits everyone; Deny admits no one.
+        for ip in [lo4, lo6, mapped_lo, remote4, remote6] {
+            assert!(shutdown_allowed(AllowRemote, ip));
+            assert!(!shutdown_allowed(Deny, ip));
+        }
+    }
+
+    #[test]
+    fn core_kind_resolves_per_platform() {
+        let native =
+            if cfg!(target_os = "linux") { CoreKind::Readiness } else { CoreKind::ThreadPool };
+        assert_eq!(CoreKind::Auto.resolved(), native);
+        assert_eq!(CoreKind::Readiness.resolved(), native);
+        assert_eq!(CoreKind::ThreadPool.resolved(), CoreKind::ThreadPool);
+    }
+
+    #[test]
+    fn recv_buf_consumes_without_memmove_and_compacts_on_refill() {
+        let mut buf = RecvBuf::new();
+        // Simulate a read landing bytes in the tail.
+        buf.data = vec![0u8; 64];
+        buf.data[..10].copy_from_slice(b"0123456789");
+        buf.end = 10;
+        assert_eq!(buf.filled(), b"0123456789");
+        buf.consume(4);
+        assert_eq!(buf.filled(), b"456789");
+        assert_eq!(buf.len(), 6);
+        // Consuming everything resets the cursors (no compaction needed).
+        buf.consume(6);
+        assert!(buf.is_empty());
+        assert_eq!((buf.start, buf.end), (0, 0));
     }
 }

@@ -34,7 +34,7 @@ use std::sync::{Arc, RwLock};
 use dpsc_private_count::codec::DecodeError;
 use dpsc_private_count::FrozenSynopsis;
 
-use crate::wire::ShardStats;
+use crate::wire::{MetricsShard, ShardStats};
 
 /// One immutable epoch of one shard.
 #[derive(Debug)]
@@ -143,6 +143,21 @@ impl ShardManager {
     /// Whether no shard is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// One [`MetricsShard`] record per resident shard, ascending by id —
+    /// the compact identity triple (`shard_id`, `epoch`,
+    /// `serialized_len`) the `Metrics` op reports.
+    pub fn metrics_shards(&self) -> Vec<MetricsShard> {
+        let shards = self.shards.read().expect("shard map not poisoned");
+        shards
+            .iter()
+            .map(|(&shard_id, snap)| MetricsShard {
+                shard_id,
+                epoch: snap.epoch,
+                serialized_len: snap.serialized_len as u64,
+            })
+            .collect()
     }
 
     /// One [`ShardStats`] record per resident shard, ascending by id —

@@ -21,6 +21,7 @@
 //! | 3 `Stats` | — | cache stats + per-shard stats (see [`ServerStats`]) |
 //! | 4 `LoadSnapshot` | shard `u32`, `u64` len + `DPSF` bytes | epoch `u64`, node count `u64` |
 //! | 5 `Shutdown` | — | — |
+//! | 6 `Metrics` | — | counters + latency percentiles + per-shard records (see [`MetricsReport`]) |
 //!
 //! An error response carries status `1` and a UTF-8 message instead of
 //! the ok payload. Floats travel as IEEE-754 bit patterns, so served
@@ -52,6 +53,7 @@ const OP_CONTAINS: u8 = 2;
 const OP_STATS: u8 = 3;
 const OP_LOAD_SNAPSHOT: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
+const OP_METRICS: u8 = 6;
 
 /// Response status bytes.
 const STATUS_OK: u8 = 0;
@@ -96,8 +98,14 @@ pub enum Request {
         /// *borrowed* straight from these bytes.
         snapshot: Arc<[u8]>,
     },
-    /// Ask the daemon to stop accepting connections and exit.
+    /// Ask the daemon to stop accepting connections and exit. Honored
+    /// only from peers the server's shutdown policy admits (loopback by
+    /// default); refused peers get an error response and stay connected.
     Shutdown,
+    /// Operator metrics: served qps, per-op counters, latency
+    /// percentiles from the fixed-bucket histogram, cache hit rate, and
+    /// per-shard epoch/size — see [`MetricsReport`].
+    Metrics,
 }
 
 /// A response frame, decoded.
@@ -129,12 +137,80 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`].
     Shutdown,
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsReport),
     /// The request could not be served (unknown shard, corrupt
     /// snapshot, …). Carries a human-readable reason.
     Error {
         /// What went wrong.
         message: String,
     },
+}
+
+/// Per-request-kind counters inside [`MetricsReport`]. Each field counts
+/// answered frames of that kind; `errors` counts error responses of any
+/// cause (malformed frames, unknown shards, rejected snapshots, refused
+/// shutdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// `Query` frames answered.
+    pub query: u64,
+    /// `QueryBatch` frames answered (see `patterns_total` for lookups).
+    pub query_batch: u64,
+    /// `Contains` frames answered.
+    pub contains: u64,
+    /// `Stats` frames answered.
+    pub stats: u64,
+    /// `LoadSnapshot` frames answered (successful installs).
+    pub load_snapshot: u64,
+    /// `Metrics` frames answered.
+    pub metrics: u64,
+    /// `Shutdown` frames honored.
+    pub shutdown: u64,
+    /// Error responses sent.
+    pub errors: u64,
+}
+
+/// One resident shard's identity inside [`MetricsReport`]: just enough
+/// for an operator to tell *what* is serving (epoch) and *how big* it is
+/// on the wire; the full utility bounds stay on the `Stats` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsShard {
+    /// Corpus id.
+    pub shard_id: u32,
+    /// Epoch of the resident snapshot.
+    pub epoch: u64,
+    /// Size of the resident snapshot's wire encoding in bytes.
+    pub serialized_len: u64,
+}
+
+/// The [`Response::Metrics`] body: a point-in-time snapshot of the
+/// daemon's serving counters (see [`crate::metrics::MetricsRegistry`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Nanoseconds since the daemon bound its listener.
+    pub uptime_ns: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conns_accepted: u64,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Per-op request counters.
+    pub ops: OpCounts,
+    /// Individual pattern lookups answered (a `QueryBatch` of k adds k).
+    pub patterns_total: u64,
+    /// `patterns_total` over uptime: the lifetime average served qps.
+    pub qps: f64,
+    /// Median per-request service latency (answer computation, network
+    /// excluded) from the fixed-bucket histogram — bucket resolution.
+    pub latency_p50_ns: f64,
+    /// 99th-percentile service latency, same histogram.
+    pub latency_p99_ns: f64,
+    /// Query-cache counters (same numbers `Stats` reports).
+    pub cache: CacheStats,
+    /// `hits / (hits + misses)`, 0 when the cache is untouched.
+    pub cache_hit_rate: f64,
+    /// One record per resident shard, ascending by `shard_id`.
+    pub shards: Vec<MetricsShard>,
 }
 
 /// Serving-cache counters, part of [`ServerStats`].
@@ -292,6 +368,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             body.extend_from_slice(snapshot);
         }
         Request::Shutdown => body.push(OP_SHUTDOWN),
+        Request::Metrics => body.push(OP_METRICS),
     }
     seal(body)
 }
@@ -340,6 +417,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
             Request::LoadSnapshot { shard, snapshot: cur.take(len)?.into() }
         }
         OP_SHUTDOWN => Request::Shutdown,
+        OP_METRICS => Request::Metrics,
         other => {
             return Err(DecodeError::BadField {
                 field: "opcode",
@@ -410,6 +488,35 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     push_u64(&mut body, *node_count);
                 }
                 Response::Shutdown => body.push(OP_SHUTDOWN),
+                Response::Metrics(m) => {
+                    body.push(OP_METRICS);
+                    push_u64(&mut body, m.uptime_ns);
+                    push_u64(&mut body, m.conns_accepted);
+                    push_u64(&mut body, m.conns_open);
+                    push_u64(&mut body, m.ops.query);
+                    push_u64(&mut body, m.ops.query_batch);
+                    push_u64(&mut body, m.ops.contains);
+                    push_u64(&mut body, m.ops.stats);
+                    push_u64(&mut body, m.ops.load_snapshot);
+                    push_u64(&mut body, m.ops.metrics);
+                    push_u64(&mut body, m.ops.shutdown);
+                    push_u64(&mut body, m.ops.errors);
+                    push_u64(&mut body, m.patterns_total);
+                    push_f64(&mut body, m.qps);
+                    push_f64(&mut body, m.latency_p50_ns);
+                    push_f64(&mut body, m.latency_p99_ns);
+                    push_u64(&mut body, m.cache.hits);
+                    push_u64(&mut body, m.cache.misses);
+                    push_u64(&mut body, m.cache.entries);
+                    push_u64(&mut body, m.cache.capacity);
+                    push_f64(&mut body, m.cache_hit_rate);
+                    push_u32(&mut body, m.shards.len() as u32);
+                    for s in &m.shards {
+                        push_u32(&mut body, s.shard_id);
+                        push_u64(&mut body, s.epoch);
+                        push_u64(&mut body, s.serialized_len);
+                    }
+                }
                 Response::Error { .. } => unreachable!("handled above"),
             }
         }
@@ -493,6 +600,61 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 Response::LoadSnapshot { epoch: cur.u64()?, node_count: cur.u64()? }
             }
             OP_SHUTDOWN => Response::Shutdown,
+            OP_METRICS => {
+                let uptime_ns = cur.u64()?;
+                let conns_accepted = cur.u64()?;
+                let conns_open = cur.u64()?;
+                let ops = OpCounts {
+                    query: cur.u64()?,
+                    query_batch: cur.u64()?,
+                    contains: cur.u64()?,
+                    stats: cur.u64()?,
+                    load_snapshot: cur.u64()?,
+                    metrics: cur.u64()?,
+                    shutdown: cur.u64()?,
+                    errors: cur.u64()?,
+                };
+                let patterns_total = cur.u64()?;
+                let qps = cur.f64()?;
+                let latency_p50_ns = cur.f64()?;
+                let latency_p99_ns = cur.f64()?;
+                let cache = CacheStats {
+                    hits: cur.u64()?,
+                    misses: cur.u64()?,
+                    entries: cur.u64()?,
+                    capacity: cur.u64()?,
+                };
+                let cache_hit_rate = cur.f64()?;
+                let count = cur.u32()? as usize;
+                const METRICS_SHARD_REC: usize = 4 + 8 + 8;
+                if count > cur.remaining() / METRICS_SHARD_REC {
+                    return Err(DecodeError::BadField {
+                        field: "metrics shard count",
+                        detail: format!("{count} records cannot fit the payload"),
+                    });
+                }
+                let mut shards = Vec::with_capacity(count);
+                for _ in 0..count {
+                    shards.push(MetricsShard {
+                        shard_id: cur.u32()?,
+                        epoch: cur.u64()?,
+                        serialized_len: cur.u64()?,
+                    });
+                }
+                Response::Metrics(MetricsReport {
+                    uptime_ns,
+                    conns_accepted,
+                    conns_open,
+                    ops,
+                    patterns_total,
+                    qps,
+                    latency_p50_ns,
+                    latency_p99_ns,
+                    cache,
+                    cache_hit_rate,
+                    shards,
+                })
+            }
             other => {
                 return Err(DecodeError::BadField {
                     field: "opcode",
@@ -550,6 +712,7 @@ mod tests {
             Request::Stats,
             Request::LoadSnapshot { shard: 9, snapshot: vec![1, 2, 3, 4, 5].into() },
             Request::Shutdown,
+            Request::Metrics,
         ]
     }
 
@@ -580,6 +743,44 @@ mod tests {
             Response::Stats(ServerStats { cache: CacheStats::default(), shards: Vec::new() }),
             Response::LoadSnapshot { epoch: 3, node_count: 17 },
             Response::Shutdown,
+            Response::Metrics(MetricsReport {
+                uptime_ns: 123_456_789,
+                conns_accepted: 4096,
+                conns_open: 17,
+                ops: OpCounts {
+                    query: 10,
+                    query_batch: 20,
+                    contains: 3,
+                    stats: 2,
+                    load_snapshot: 4,
+                    metrics: 1,
+                    shutdown: 0,
+                    errors: 5,
+                },
+                patterns_total: 330,
+                qps: 2_672_001.5,
+                latency_p50_ns: 768.0,
+                latency_p99_ns: 3072.0,
+                cache: CacheStats { hits: 200, misses: 130, entries: 64, capacity: 8192 },
+                cache_hit_rate: 200.0 / 330.0,
+                shards: vec![
+                    MetricsShard { shard_id: 0, epoch: 3, serialized_len: 5120 },
+                    MetricsShard { shard_id: 9, epoch: 7, serialized_len: 8008 },
+                ],
+            }),
+            Response::Metrics(MetricsReport {
+                uptime_ns: 1,
+                conns_accepted: 0,
+                conns_open: 0,
+                ops: OpCounts::default(),
+                patterns_total: 0,
+                qps: 0.0,
+                latency_p50_ns: 0.0,
+                latency_p99_ns: 0.0,
+                cache: CacheStats::default(),
+                cache_hit_rate: 0.0,
+                shards: Vec::new(),
+            }),
             Response::Error { message: "unknown shard 12".to_string() },
         ]
     }

@@ -118,6 +118,26 @@ fn main() {
         stats.cache.hits, stats.cache.misses, stats.cache.entries, stats.cache.capacity
     );
 
+    // ---- Live serving metrics ---------------------------------------------
+    let report = client.metrics().expect("metrics answered");
+    println!(
+        "metrics: {} conns open ({} accepted), {} pattern lookups at {:.0} lifetime qps, \
+         service latency p50 {:.0} ns / p99 {:.0} ns, cache hit rate {:.0}%",
+        report.conns_open,
+        report.conns_accepted,
+        report.patterns_total,
+        report.qps,
+        report.latency_p50_ns,
+        report.latency_p99_ns,
+        report.cache_hit_rate * 100.0
+    );
+    for shard in &report.shards {
+        println!(
+            "metrics shard {}: epoch {}, {} bytes resident",
+            shard.shard_id, shard.epoch, shard.serialized_len
+        );
+    }
+
     // ---- Clean shutdown ---------------------------------------------------
     client.shutdown_server().expect("daemon acknowledges shutdown");
     handle.shutdown();

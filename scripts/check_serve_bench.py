@@ -10,7 +10,10 @@ own error message. Throughput is gated per mode: the run fails when QPS
 drops below baseline/<max_slowdown> (default 2.0; loopback TCP on shared CI
 runners is noisy, so the perf gate is looser than the build gate's 1.25).
 The per-shard single-query latency column (the in-process accelerated-path
-microbenchmark) is gated with the same slowdown factor.
+microbenchmark) is gated with the same slowdown factor, and so is every
+row of the connection sweep (conn_sweep) — including the 4096-connection
+point, whose presence in the baseline makes the 10k-class concurrency
+claim a hard CI requirement.
 
 Usage: check_serve_bench.py [current.json] [baseline.json] [max_slowdown]
 """
@@ -55,6 +58,17 @@ STRUCTURAL_WORKLOAD_FIELDS = (
     "requests_per_conn",
     "batch",
     "burst",
+    "total_queries",
+    "workload_digest",
+    "answers_digest",
+)
+
+# Per-row structural fields of the connection sweep (conn_sweep): the
+# point definition and its digests are deterministic for the seed; qps
+# and qps_per_conn are measurements and get the slowdown gate instead.
+STRUCTURAL_SWEEP_FIELDS = (
+    "conns",
+    "requests_per_conn",
     "total_queries",
     "workload_digest",
     "answers_digest",
@@ -145,6 +159,49 @@ def main() -> int:
         if ratio > max_slowdown:
             failures.append(
                 f"{mode}: throughput regressed {ratio:.2f}x (limit {max_slowdown:.2f}x)"
+            )
+
+    # Connection sweep: every baseline point must exist in the current run
+    # with identical structure (including the 4096-connection row — the
+    # 10k-class concurrency claim), and its qps is gated like a mode.
+    base_sweep = {p["conns"]: p for p in baseline.get("conn_sweep", [])}
+    cur_sweep = {p["conns"]: p for p in current.get("conn_sweep", [])}
+    if not base_sweep and cur_sweep:
+        print("[serve-gate] conn_sweep: new section (no baseline), informational only")
+    for conns, b in sorted(base_sweep.items()):
+        c = cur_sweep.get(conns)
+        if c is None:
+            failures.append(
+                f"conn_sweep {conns}: point present in baseline but missing from current run"
+            )
+            continue
+        for field in STRUCTURAL_SWEEP_FIELDS:
+            if b[field] != c[field]:
+                failures.append(
+                    f"conn_sweep {conns}: structural field {field!r} changed "
+                    f"({b[field]!r} -> {c[field]!r}) — sweep definition drifted from baseline"
+                )
+        ratio = b["qps"] / c["qps"] if c["qps"] else float("inf")
+        status = "OK" if ratio <= max_slowdown else "REGRESSION"
+        print(
+            f"[serve-gate] sweep {conns} conns: {b['qps']:.0f} -> {c['qps']:.0f} queries/s "
+            f"({ratio:.2f}x slower-factor, {c['qps_per_conn']:.1f} qps/conn) {status}"
+        )
+        if ratio > max_slowdown:
+            failures.append(
+                f"conn_sweep {conns}: throughput regressed {ratio:.2f}x "
+                f"(limit {max_slowdown:.2f}x)"
+            )
+
+    # Metrics reconciliation is asserted inside the benchmark itself; here
+    # just require the recorded counters to agree when present.
+    cur_metrics = current.get("metrics")
+    if cur_metrics is not None:
+        if cur_metrics["patterns_total"] != cur_metrics["generator_patterns_total"]:
+            failures.append(
+                "metrics: daemon patterns_total "
+                f"({cur_metrics['patterns_total']}) disagrees with the generator "
+                f"({cur_metrics['generator_patterns_total']})"
             )
 
     if failures:

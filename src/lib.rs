@@ -17,7 +17,7 @@
 //! | [`lowerbounds`] | Theorems 5–7 instances and distinguishing attacks |
 //! | [`workloads`] | synthetic corpus generators |
 //! | [`audit`] | statistical conformance harness: sampler goodness-of-fit, end-to-end privacy distinguishers, utility-vs-theorem-bound scenario matrix |
-//! | [`serve`] | sharded TCP serving daemon: binary wire protocol, per-connection batching, epoch-keyed LRU cache, hot snapshot swap |
+//! | [`serve`] | sharded TCP serving daemon: epoll readiness core (10k+ connections on one thread), binary wire protocol, per-connection batching, epoch-keyed LRU cache, hot snapshot swap, live metrics |
 //!
 //! ## Quickstart
 //!
@@ -80,7 +80,10 @@ pub mod prelude {
         evaluate_mining, BuildParams, CountMode, DecodeError, FastQgramParams, FrozenSynopsis,
         PrivateCountStructure, QgramParams, SimpleTrieParams, SnapshotCodec,
     };
-    pub use dpsc_serve::{Client, Server, ServerConfig, ServerHandle, ShardManager};
+    pub use dpsc_serve::{
+        Client, CoreKind, MetricsReport, Server, ServerConfig, ServerHandle, ShardManager,
+        ShutdownPolicy,
+    };
     pub use dpsc_strkit::alphabet::{Alphabet, Database};
     pub use dpsc_textindex::CorpusIndex;
 }

@@ -317,7 +317,12 @@ fn v2_snapshots_serve_borrowed_over_the_wire() {
 fn shutdown_wakes_a_wildcard_bound_acceptor() {
     let (frozen, _) = dp_built(36);
     let manager = Arc::new(ShardManager::new());
-    let config = ServerConfig { addr: "0.0.0.0:0".to_string(), workers: 2, cache_capacity: 64 };
+    let config = ServerConfig {
+        addr: "0.0.0.0:0".to_string(),
+        workers: 2,
+        cache_capacity: 64,
+        ..ServerConfig::default()
+    };
     let handle = Server::spawn(config, Arc::clone(&manager)).expect("daemon binds wildcard");
     assert!(handle.addr().ip().is_unspecified(), "test must exercise a wildcard bind");
 
@@ -336,4 +341,231 @@ fn shutdown_wakes_a_wildcard_bound_acceptor() {
     done_rx
         .recv_timeout(std::time::Duration::from_secs(10))
         .expect("wildcard-bound daemon failed to shut down within 10s");
+}
+
+/// Regression: a corrupt length prefix in the *first* frame used to be
+/// silently dropped (`break 'conn` with no response) while the same
+/// corruption later in the stream was answered with an error frame. Both
+/// cores now follow one contract for corruption anywhere in the stream:
+/// error frame back, flush, then close.
+#[test]
+fn garbage_first_frame_gets_an_error_frame_then_close() {
+    use dp_substring_counting::serve::wire::decode_response;
+    use std::io::{Read, Write};
+
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        let config = ServerConfig { core, ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+
+        let mut raw = std::net::TcpStream::connect(handle.addr()).expect("raw connect");
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+        // A length prefix far beyond MAX_FRAME_LEN: unrecoverable.
+        raw.write_all(&[0xFF; 16]).expect("garbage written");
+
+        let mut len = [0u8; 4];
+        raw.read_exact(&mut len).expect("an error frame must come back ({core:?})");
+        let body_len = u32::from_le_bytes(len) as usize;
+        let mut body = vec![0u8; body_len];
+        raw.read_exact(&mut body).expect("error frame body");
+        match decode_response(&body).expect("well-formed response frame") {
+            Response::Error { message } => {
+                assert!(!message.is_empty(), "error carries a reason ({core:?})")
+            }
+            other => panic!("expected an error frame, got {other:?} ({core:?})"),
+        }
+        // …and then the server closes the unrecoverable stream.
+        let mut rest = Vec::new();
+        let n = raw.read_to_end(&mut rest).expect("clean EOF after the error frame");
+        assert_eq!(n, 0, "no bytes after the error frame ({core:?})");
+
+        // The daemon itself is unharmed: a fresh client still gets served.
+        let mut client = Client::connect(handle.addr()).expect("fresh client connects");
+        let err = client.query(9, b"x").expect_err("unknown shard errors");
+        assert!(err.to_string().contains("unknown shard"), "daemon still serving ({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// The wire `Shutdown` gate: the default loopback-only policy admits a
+/// local client, and `ShutdownPolicy::Deny` refuses with a typed error
+/// while the daemon keeps serving (only the handle can stop it).
+#[test]
+fn shutdown_gate_admits_by_policy_and_refuses_with_an_error() {
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        // Accept path: default policy, loopback peer → daemon stops.
+        let manager = Arc::new(ShardManager::new());
+        let config = ServerConfig { core, ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let client = Client::connect(handle.addr()).expect("client connects");
+        client.shutdown_server().expect("loopback peer may shut the daemon down");
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            handle.shutdown();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("daemon joins promptly after a wire shutdown");
+
+        // Reject path: Deny policy — even loopback is refused, the
+        // connection stays usable, and the daemon keeps serving.
+        let manager = Arc::new(ShardManager::new());
+        let config =
+            ServerConfig { core, shutdown_policy: ShutdownPolicy::Deny, ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+        match client.call(&Request::Shutdown).expect("refusal is a response, not a hangup") {
+            Response::Error { message } => {
+                assert!(message.contains("shutdown refused"), "got: {message}")
+            }
+            other => panic!("expected a refusal, got {other:?}"),
+        }
+        // Same connection, next request: still served.
+        let err = client.query(3, b"x").expect_err("unknown shard errors");
+        assert!(err.to_string().contains("unknown shard 3"), "daemon survived ({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// The readiness core's reason to exist: far more simultaneous
+/// connections than the thread-pool core has workers, all held open at
+/// once, every answer bit-identical to the local oracle — and shutdown
+/// still joins promptly with hundreds of connections live.
+#[test]
+fn hundreds_of_concurrent_connections_serve_bit_identically() {
+    const CONNS: usize = 256;
+    let gen = synthetic(42.0);
+    let probe: Vec<Vec<u8>> = (0..50u8)
+        .map(|i| vec![b'a' + (i % 4), b'a' + ((i / 4) % 4), b'a' + ((i / 16) % 4)])
+        .collect();
+    let refs: Vec<&[u8]> = probe.iter().map(|p| p.as_slice()).collect();
+    let expect: Vec<u64> = gen.query_batch(&refs).iter().map(|v| v.to_bits()).collect();
+
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, gen, 0);
+    // workers=2 ≪ CONNS: only the event loop can serve this shape.
+    let config = ServerConfig { workers: 2, ..ServerConfig::default() };
+    let handle = Server::spawn(config, manager).expect("daemon binds");
+    let addr = handle.addr();
+
+    let barrier = std::sync::Barrier::new(CONNS);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..CONNS {
+            joins.push(scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("client connects");
+                // Everyone connects before anyone queries: all CONNS
+                // sockets are simultaneously open at the server.
+                barrier.wait();
+                let served = client.query_batch(0, &refs).expect("batch answered");
+                let bits: Vec<u64> = served.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(bits, expect, "served bits must match the local oracle");
+                client
+            }));
+        }
+        // Keep every connection alive until all have been answered.
+        let clients: Vec<Client> =
+            joins.into_iter().map(|j| j.join().expect("client ok")).collect();
+        drop(clients);
+    });
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(10))
+        .expect("shutdown joins promptly after a 256-connection storm");
+}
+
+/// The `Metrics` op end to end: counters reconcile exactly with what
+/// this client did, latency percentiles and qps are live, the cache hit
+/// rate reflects the repeated pattern, and per-shard records carry the
+/// installed epoch and serialized size.
+#[test]
+fn metrics_reconcile_with_client_side_counts() {
+    let gen = synthetic(7.0);
+    let bytes = gen.to_bytes();
+    let manager = Arc::new(ShardManager::new());
+    let handle = Server::spawn(ServerConfig::default(), manager).expect("daemon binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let epoch = client.load_snapshot(4, &bytes).expect("snapshot loads");
+    for _ in 0..5 {
+        client.query(4, b"aaa").expect("query answered"); // 1 miss + 4 hits
+    }
+    let refs: Vec<&[u8]> = vec![b"aba", b"baa", b"abc"];
+    client.query_batch(4, &refs).expect("batch answered");
+    client.contains(4, b"aba").expect("contains answered");
+    client.stats().expect("stats answered");
+    let _ = client.query(77, b"zz").expect_err("unknown shard errors");
+
+    let report = client.metrics().expect("metrics answered");
+    // Op counters: exactly what this client sent (plus the error).
+    assert_eq!(report.ops.query, 6, "5 served + 1 unknown-shard error");
+    assert_eq!(report.ops.query_batch, 1);
+    assert_eq!(report.ops.contains, 1);
+    assert_eq!(report.ops.stats, 1);
+    assert_eq!(report.ops.load_snapshot, 1);
+    assert_eq!(report.ops.metrics, 0, "a report snapshots counters before its own op lands");
+    assert_eq!(report.ops.shutdown, 0);
+    assert_eq!(report.ops.errors, 1);
+    // Served work: 5 single + 3 batched + 1 contains lookups (the failed
+    // query adds 0).
+    assert_eq!(report.patterns_total, 9);
+    assert_eq!(report.conns_accepted, 1);
+    assert_eq!(report.conns_open, 1);
+    assert!(report.uptime_ns > 0);
+    assert!(report.qps > 0.0, "patterns served over nonzero uptime");
+    assert!(report.latency_p50_ns > 0.0 && report.latency_p99_ns >= report.latency_p50_ns);
+    // Cache: "aaa" hit 4 times out of 9 total lookups (5+3+1... the
+    // contains path does not touch the cache): 4 hits / 8 lookups.
+    assert_eq!(report.cache.hits, 4);
+    assert_eq!(report.cache.misses, 4);
+    assert!((report.cache_hit_rate - 0.5).abs() < 1e-12, "rate = {}", report.cache_hit_rate);
+    // Per-shard identity triple.
+    assert_eq!(report.shards.len(), 1);
+    assert_eq!(report.shards[0].shard_id, 4);
+    assert_eq!(report.shards[0].epoch, epoch);
+    assert_eq!(report.shards[0].serialized_len, bytes.len() as u64);
+    // A second report sees the first Metrics op (and nothing else new).
+    let report2 = client.metrics().expect("second metrics answered");
+    assert_eq!(report2.ops.metrics, 1);
+    assert_eq!(report2.patterns_total, 9, "Metrics ops serve no patterns");
+    handle.shutdown();
+}
+
+/// Write backpressure on the readiness core: with a deliberately tiny
+/// outbound high-water mark, a large pipelined burst (answers queue
+/// faster than the client drains) still comes back complete, in order,
+/// and bit-identical — reading pauses instead of buffering unboundedly.
+#[test]
+fn tiny_write_budget_backpressure_preserves_order_and_answers() {
+    let gen = synthetic(3.0);
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, gen.clone(), 0);
+    let config = ServerConfig { write_high_water: 2048, ..ServerConfig::default() };
+    let handle = Server::spawn(config, manager).expect("daemon binds");
+    let mut client = Client::connect(handle.addr()).expect("client connects");
+
+    let probe: Vec<Vec<u8>> = (0..2000u32)
+        .map(|i| {
+            vec![b'a' + (i % 4) as u8, b'a' + ((i / 4) % 4) as u8, b'a' + ((i / 16) % 4) as u8]
+        })
+        .collect();
+    let requests: Vec<Request> =
+        probe.iter().map(|p| Request::Query { shard: 0, pattern: p.clone() }).collect();
+    let responses = client.pipeline(&requests).expect("burst survives backpressure");
+    assert_eq!(responses.len(), requests.len());
+    for (resp, p) in responses.iter().zip(&probe) {
+        match resp {
+            Response::Query { value } => {
+                assert_eq!(value.to_bits(), gen.query(p).to_bits(), "pattern {p:?}")
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    handle.shutdown();
 }
