@@ -35,7 +35,7 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_dpcore::stream::derive_stream as derive_seed;
@@ -548,6 +548,207 @@ fn replay_sweep(addr: SocketAddr, workloads: &[ConnWorkload]) -> SweepPoint {
     }
 }
 
+/// Counters and timings from the robustness scenario: overload shedding,
+/// slow-loris eviction, idle reaping, a durable rollback, and the
+/// crash-restart recovery measurement. Every `*_total` is the daemon's
+/// own counter, asserted equal to the generator-side observation at
+/// runtime and recorded for the gate.
+struct RobustnessResult {
+    overloaded_total: u64,
+    shed_observed: u64,
+    deadline_evicted_total: u64,
+    loris_observed: u64,
+    idle_reaped_total: u64,
+    idle_observed: u64,
+    rollbacks_total: u64,
+    rollback_observed: u64,
+    /// Persist → kill → recover → first (bit-identical) answer, in ns.
+    restart_recovery_ns: u128,
+    recoveries_total: u64,
+}
+
+/// A read-only admission probe: connects and reads without ever writing,
+/// so the shed `Overloaded` frame cannot be lost to a reset racing
+/// unread request bytes. Returns once the frame (and the close behind
+/// it) arrives.
+fn shed_probe(addr: SocketAddr) -> Response {
+    let mut s = TcpStream::connect(addr).expect("probe connects at TCP level");
+    s.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    let resp = read_response_frame(&mut s);
+    let mut rest = [0u8; 16];
+    assert!(
+        matches!(s.read(&mut rest), Ok(0) | Err(_)),
+        "shed connection must close after its frame"
+    );
+    resp
+}
+
+/// Pings `admin` (keeping it non-idle) while polling `victim` for the
+/// server-side close, up to a 10 s budget. Returns true once the victim
+/// socket reads EOF or a reset.
+fn await_eviction(admin: &mut Client, shard: u32, pattern: &[u8], victim: &mut TcpStream) -> bool {
+    victim.set_read_timeout(Some(Duration::from_millis(10))).expect("read timeout");
+    let mut one = [0u8; 16];
+    let t = Instant::now();
+    while t.elapsed() < Duration::from_secs(10) {
+        admin.query(shard, pattern).expect("admin connection stays healthy");
+        match victim.read(&mut one) {
+            Ok(0) => return true,
+            Ok(_) => panic!("evicted connection received unexpected bytes"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return true,
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    false
+}
+
+/// The robustness scenario: a second daemon with a snapshot store, a
+/// 2-connection admission bound, a 150 ms read deadline, and a 400 ms
+/// idle timeout. Installs two epochs durably and rolls back; holds a
+/// slow-loris connection to eviction; sheds three read-only probes at
+/// admission; lets an idle connection get reaped — then asserts the
+/// daemon's degradation counters reconcile *exactly* with what the
+/// generator did. Finally: a torn record is appended to the manifest (a
+/// simulated crash mid-append), the daemon restarts cold on the same
+/// directory, and `restart_recovery_ns` clocks persist → kill → recover
+/// → first answer, with that answer asserted bit-identical to the
+/// pre-crash rolled-back epoch.
+fn robustness_scenario(shards: &[BuiltShard]) -> RobustnessResult {
+    let dir = std::env::temp_dir().join(format!("dpsc-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let small = &shards[0];
+    let mid = &shards[1];
+    let probe: Vec<&[u8]> = small.universe.iter().take(64).map(|p| p.as_slice()).collect();
+    let expect_small: Vec<u64> =
+        probe.iter().map(|p| small.frozen.query_naive(p).to_bits()).collect();
+    let expect_mid: Vec<u64> = probe.iter().map(|p| mid.frozen.query_naive(p).to_bits()).collect();
+
+    let manager = Arc::new(ShardManager::new());
+    let config = ServerConfig {
+        workers: 2,
+        max_conns: 2,
+        read_deadline: Some(Duration::from_millis(150)),
+        idle_timeout: Some(Duration::from_millis(400)),
+        store_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(config, manager).expect("robustness daemon binds");
+    let addr = handle.addr();
+    let mut admin = Client::connect(addr).expect("admin connects");
+
+    // Durable installs + rollback: small → mid → back to small.
+    let e1 = admin.load_snapshot(0, &small.bytes_v2).expect("epoch 1 installs");
+    admin.load_snapshot(0, &mid.bytes_v2).expect("epoch 2 installs");
+    let served: Vec<u64> =
+        admin.query_batch(0, &probe).expect("epoch 2 serves").iter().map(|v| v.to_bits()).collect();
+    assert_eq!(served, expect_mid, "pre-rollback answers");
+    admin.rollback(0, e1).expect("rollback to a retained epoch");
+    let served: Vec<u64> = admin
+        .query_batch(0, &probe)
+        .expect("rollback serves")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    assert_eq!(served, expect_small, "rollback re-installs epoch 1 bit-identically");
+    let rollback_observed = 1u64;
+
+    // A slow loris takes the second admitted slot: a partial frame, then
+    // silence until the read deadline evicts it.
+    let mut loris = TcpStream::connect(addr).expect("loris connects");
+    loris.write_all(b"DP").expect("partial frame sent");
+    admin.query(0, probe[0]).expect("admin still served");
+
+    // With both slots held, read-only probes are shed with a typed frame.
+    let shed_observed = 3u64;
+    for i in 0..shed_observed {
+        let resp = shed_probe(addr);
+        assert!(matches!(resp, Response::Overloaded), "probe {i} got {resp:?}");
+    }
+    let loris_observed = u64::from(await_eviction(&mut admin, 0, probe[0], &mut loris));
+    assert_eq!(loris_observed, 1, "loris must be evicted at the read deadline");
+
+    // An idle connection (admitted into the freed slot, never writes)
+    // gets reaped at the idle timeout.
+    let mut idler = TcpStream::connect(addr).expect("idler connects");
+    let idle_observed = u64::from(await_eviction(&mut admin, 0, probe[0], &mut idler));
+    assert_eq!(idle_observed, 1, "idler must be reaped at the idle timeout");
+
+    // Exact reconciliation: the daemon counted precisely what we did.
+    let report = admin.metrics().expect("metrics answered");
+    assert_eq!(report.overloaded_total, shed_observed, "shed accounting drifted");
+    assert_eq!(report.deadline_evicted_total, loris_observed, "eviction accounting drifted");
+    assert_eq!(report.idle_reaped_total, idle_observed, "reap accounting drifted");
+    assert_eq!(report.rollbacks_total, rollback_observed, "rollback accounting drifted");
+    assert_eq!(report.recoveries_total, 0, "fresh store had nothing to recover");
+    let counters = (
+        report.overloaded_total,
+        report.deadline_evicted_total,
+        report.idle_reaped_total,
+        report.rollbacks_total,
+    );
+    drop(admin);
+    handle.shutdown();
+
+    // Simulated crash mid-manifest-append: a torn record on the tail.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join("MANIFEST"))
+            .expect("manifest exists after durable installs");
+        f.write_all(&[0xAB; 20]).expect("torn tail appended");
+    }
+
+    // Cold restart on the same directory: recovery replays the manifest
+    // (repairing the torn tail) and the first answer must be
+    // bit-identical to the pre-crash rolled-back epoch.
+    let t0 = Instant::now();
+    let manager = Arc::new(ShardManager::new());
+    let config =
+        ServerConfig { workers: 2, store_dir: Some(dir.clone()), ..ServerConfig::default() };
+    let handle = Server::spawn(config, manager).expect("recovery daemon binds");
+    let mut client = Client::connect(handle.addr()).expect("recovery client connects");
+    let served: Vec<u64> = client
+        .query_batch(0, &probe)
+        .expect("recovered epoch serves")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let restart_recovery_ns = t0.elapsed().as_nanos();
+    assert_eq!(served, expect_small, "recovered answers must match the pre-crash epoch");
+    let report = client.metrics().expect("metrics answered");
+    assert_eq!(report.recoveries_total, 1, "one corpus replayed at startup");
+    let recoveries_total = report.recoveries_total;
+    drop(client);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "[serve_throughput] robustness: {} sheds, {} eviction, {} reap, {} rollback \
+         reconciled; restart recovery {:.2} ms",
+        counters.0,
+        counters.1,
+        counters.2,
+        counters.3,
+        restart_recovery_ns as f64 / 1e6
+    );
+    RobustnessResult {
+        overloaded_total: counters.0,
+        shed_observed,
+        deadline_evicted_total: counters.1,
+        loris_observed,
+        idle_reaped_total: counters.2,
+        idle_observed,
+        rollbacks_total: counters.3,
+        rollback_observed,
+        restart_recovery_ns,
+        recoveries_total,
+    }
+}
+
 struct RunResult {
     connections: usize,
     requests_per_conn: usize,
@@ -566,6 +767,7 @@ struct RunResult {
     generator_patterns_total: u64,
     metrics_p50_ns: f64,
     metrics_p99_ns: f64,
+    robustness: RobustnessResult,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -686,6 +888,29 @@ fn to_json(
         run.metrics_p50_ns, run.metrics_p99_ns
     ));
     out.push_str("  },\n");
+    let r = &run.robustness;
+    out.push_str("  \"durability\": {\n");
+    out.push_str(&format!("    \"restart_recovery_ns\": {},\n", r.restart_recovery_ns));
+    out.push_str(&format!("    \"recoveries_total\": {}\n", r.recoveries_total));
+    out.push_str("  },\n");
+    out.push_str("  \"degradation\": {\n");
+    out.push_str(&format!(
+        "    \"overloaded_total\": {},\n    \"shed_observed\": {},\n",
+        r.overloaded_total, r.shed_observed
+    ));
+    out.push_str(&format!(
+        "    \"deadline_evicted_total\": {},\n    \"loris_observed\": {},\n",
+        r.deadline_evicted_total, r.loris_observed
+    ));
+    out.push_str(&format!(
+        "    \"idle_reaped_total\": {},\n    \"idle_observed\": {},\n",
+        r.idle_reaped_total, r.idle_observed
+    ));
+    out.push_str(&format!(
+        "    \"rollbacks_total\": {},\n    \"rollback_observed\": {}\n",
+        r.rollbacks_total, r.rollback_observed
+    ));
+    out.push_str("  },\n");
     out.push_str(&format!("  \"cache_hits\": {},\n", run.cache_hits));
     out.push_str(&format!("  \"cache_misses\": {}\n", run.cache_misses));
     out.push_str("}\n");
@@ -803,6 +1028,9 @@ pub fn serve_throughput() -> Table {
     assert_eq!(report.ops.errors, 0, "load run must not produce error responses");
     handle.shutdown();
 
+    // ---- Robustness: overload, eviction, rollback, crash-restart ----------
+    let robustness = robustness_scenario(&shards);
+
     let run = RunResult {
         connections,
         requests_per_conn,
@@ -819,6 +1047,7 @@ pub fn serve_throughput() -> Table {
         generator_patterns_total,
         metrics_p50_ns: report.latency_p50_ns,
         metrics_p99_ns: report.latency_p99_ns,
+        robustness,
     };
 
     std::fs::create_dir_all("results").ok();
@@ -881,6 +1110,17 @@ pub fn serve_throughput() -> Table {
         run.generator_patterns_total,
         run.metrics_p50_ns,
         run.metrics_p99_ns
+    ));
+    t.note(format!(
+        "robustness: {} admission sheds, {} deadline eviction, {} idle reap and {} rollback \
+         all reconciled exactly against the daemon's counters; crash-restart recovery \
+         (persist → kill → torn manifest tail → recover → first bit-identical answer) took \
+         {:.2} ms.",
+        run.robustness.overloaded_total,
+        run.robustness.deadline_evicted_total,
+        run.robustness.idle_reaped_total,
+        run.robustness.rollbacks_total,
+        run.robustness.restart_recovery_ns as f64 / 1e6
     ));
     for (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns))) in
         shards.iter().zip(lats.iter().zip(&cold_lats))

@@ -24,6 +24,12 @@
 //! * [`metrics`] — [`MetricsRegistry`](metrics::MetricsRegistry):
 //!   lock-free per-op counters and a fixed-bucket latency histogram,
 //!   snapshotted by the `Metrics` wire op.
+//! * [`store`] — [`SnapshotStore`]: the crash-safe on-disk snapshot
+//!   store (write-temp → fsync → rename → fsync(dir) under a
+//!   checksummed append-only `MANIFEST`), with epoch retention, the
+//!   `Rollback` wire op's backing re-install, and a deterministic
+//!   fault-injection [`StoreIo`](store::StoreIo) layer for enumerating
+//!   crash points under test.
 //! * [`poll`] (Linux) — a std-only edge-triggered epoll wrapper plus a
 //!   self-pipe waker, the readiness layer under the default server core.
 //! * [`server`] / [`client`] — the TCP daemon (readiness event loop on
@@ -54,13 +60,17 @@ pub mod metrics;
 pub mod poll;
 pub mod server;
 pub mod shard;
+pub mod store;
 pub mod wire;
 
 pub use cache::QueryCache;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use metrics::MetricsRegistry;
 pub use server::{CoreKind, Server, ServerConfig, ServerHandle, ShutdownPolicy};
 pub use shard::{ShardManager, ShardSnapshot};
+pub use store::{
+    FaultPlan, FaultyIo, RealIo, RecoveredSnapshot, SnapshotStore, StoreError, StoreIo,
+};
 pub use wire::{
     CacheStats, MetricsReport, MetricsShard, OpCounts, Request, Response, ServerStats, ShardStats,
 };

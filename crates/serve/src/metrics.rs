@@ -39,9 +39,11 @@ pub enum OpKind {
     Metrics,
     /// [`crate::wire::Request::Shutdown`]
     Shutdown,
+    /// [`crate::wire::Request::Rollback`]
+    Rollback,
 }
 
-const OP_KINDS: usize = 7;
+const OP_KINDS: usize = 8;
 
 /// 64 power-of-two buckets over nanoseconds: bucket `b` holds samples
 /// with `floor(log2(max(v, 1))) == b`, i.e. `[2^b, 2^(b+1))` (bucket 0
@@ -109,6 +111,11 @@ pub struct MetricsRegistry {
     ops: [AtomicU64; OP_KINDS],
     errors: AtomicU64,
     patterns: AtomicU64,
+    overloaded: AtomicU64,
+    idle_reaped: AtomicU64,
+    deadline_evicted: AtomicU64,
+    recoveries: AtomicU64,
+    rollbacks: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -128,6 +135,11 @@ impl MetricsRegistry {
             ops: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: AtomicU64::new(0),
             patterns: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            idle_reaped: AtomicU64::new(0),
+            deadline_evicted: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            rollbacks: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -165,6 +177,40 @@ impl MetricsRegistry {
         self.patterns.load(Ordering::Relaxed)
     }
 
+    /// Connections currently admitted (opened minus closed). The
+    /// admission bound compares against this before accepting more.
+    pub fn conns_open_now(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// A connection was shed with an `Overloaded` frame at the admission
+    /// bound (it was never admitted; `conn_opened` was not called).
+    pub fn record_overloaded(&self) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An idle connection was reaped by the idle timeout.
+    pub fn record_idle_reaped(&self) {
+        self.idle_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection stalled mid-frame past the read deadline and was
+    /// evicted (slow-loris defense).
+    pub fn record_deadline_evicted(&self) {
+        self.deadline_evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` shards were re-installed from the snapshot store's manifest
+    /// at startup.
+    pub fn record_recoveries(&self, n: u64) {
+        self.recoveries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A retained epoch was successfully rolled back in.
+    pub fn record_rollback(&self) {
+        self.rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots everything into a wire-ready report. `cache` and
     /// `shards` come from the server (the registry does not own them).
     pub fn report(&self, cache: CacheStats, shards: Vec<MetricsShard>) -> MetricsReport {
@@ -184,11 +230,17 @@ impl MetricsRegistry {
                 contains: load(&self.ops[OpKind::Contains as usize]),
                 stats: load(&self.ops[OpKind::Stats as usize]),
                 load_snapshot: load(&self.ops[OpKind::LoadSnapshot as usize]),
+                rollback: load(&self.ops[OpKind::Rollback as usize]),
                 metrics: load(&self.ops[OpKind::Metrics as usize]),
                 shutdown: load(&self.ops[OpKind::Shutdown as usize]),
                 errors: load(&self.errors),
             },
             patterns_total,
+            overloaded_total: load(&self.overloaded),
+            idle_reaped_total: load(&self.idle_reaped),
+            deadline_evicted_total: load(&self.deadline_evicted),
+            recoveries_total: load(&self.recoveries),
+            rollbacks_total: load(&self.rollbacks),
             qps,
             latency_p50_ns: self.latency.quantile(0.50),
             latency_p99_ns: self.latency.quantile(0.99),
@@ -243,7 +295,14 @@ mod tests {
         m.record(OpKind::Query, 1, 800);
         m.record(OpKind::QueryBatch, 16, 5_000);
         m.record(OpKind::Stats, 0, 300);
+        m.record(OpKind::Rollback, 0, 100);
         m.record_error();
+        m.record_overloaded();
+        m.record_overloaded();
+        m.record_idle_reaped();
+        m.record_deadline_evicted();
+        m.record_recoveries(4);
+        m.record_rollback();
         let report = m.report(
             CacheStats { hits: 3, misses: 1, entries: 4, capacity: 64 },
             vec![MetricsShard { shard_id: 2, epoch: 9, serialized_len: 1234 }],
@@ -254,7 +313,13 @@ mod tests {
         assert_eq!(report.ops.query_batch, 1);
         assert_eq!(report.ops.stats, 1);
         assert_eq!(report.ops.errors, 1);
+        assert_eq!(report.ops.rollback, 1);
         assert_eq!(report.patterns_total, 17);
+        assert_eq!(report.overloaded_total, 2);
+        assert_eq!(report.idle_reaped_total, 1);
+        assert_eq!(report.deadline_evicted_total, 1);
+        assert_eq!(report.recoveries_total, 4);
+        assert_eq!(report.rollbacks_total, 1);
         assert!(report.qps > 0.0);
         assert!(report.latency_p50_ns > 0.0);
         assert!((report.cache_hit_rate - 0.75).abs() < 1e-12);

@@ -38,18 +38,37 @@
 //! from exactly one epoch: a hot swap never produces a blended answer.
 //! Cache entries are keyed by the pinned snapshot's epoch, so a hit can
 //! only ever return bytes the same epoch's synopsis produced.
+//!
+//! ## Durability and degradation
+//! With a [`SnapshotStore`] configured ([`ServerConfig::store_dir`] or an
+//! injected [`ServerConfig::store`]), `LoadSnapshot` persists bytes
+//! crash-safely *before* they start serving (the daemon never serves an
+//! epoch it cannot recover), startup replays the manifest and serves the
+//! newest valid epoch per corpus, and the `Rollback` wire op re-installs
+//! a retained prior epoch. The front door degrades instead of wedging:
+//! [`ServerConfig::max_conns`] sheds connections beyond the admission
+//! bound with a retryable `Overloaded` frame, and
+//! [`ServerConfig::read_deadline`] / [`ServerConfig::idle_timeout`]
+//! evict mid-frame stalls (slow-loris) and silent idlers on both cores.
+//! On the readiness core, snapshot installs decode and persist on a
+//! dedicated installer thread so a multi-MB `LoadSnapshot` never stalls
+//! unrelated connections.
 
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dpsc_private_count::FrozenSynopsis;
+
 use crate::cache::QueryCache;
 use crate::metrics::{MetricsRegistry, OpKind};
 use crate::shard::{ShardManager, ShardSnapshot};
+use crate::store::SnapshotStore;
 use crate::wire::{
     decode_request, encode_response, frame_len, CacheStats, Request, Response, ServerStats,
 };
@@ -136,6 +155,30 @@ pub struct ServerConfig {
     /// so one response can always be queued no matter how small this is
     /// (clamped to ≥ 1 KiB to keep re-arm churn sane).
     pub write_high_water: usize,
+    /// Crash-safe snapshot store directory. When set, `bind` opens (and
+    /// recovers) a [`SnapshotStore`] there: installs persist before they
+    /// serve, startup replays the manifest, and `Rollback` works.
+    /// `None` (the default) keeps the historical memory-only daemon.
+    pub store_dir: Option<PathBuf>,
+    /// A pre-opened store, overriding `store_dir`. The fault-injection
+    /// tests use this to wire a `FaultyIo` store through a live daemon.
+    pub store: Option<Arc<SnapshotStore>>,
+    /// Per-corpus durable epoch retention depth (rollback window) for a
+    /// store opened via `store_dir`; clamped to ≥ 1.
+    pub retain_epochs: usize,
+    /// Admission bound: accepted connections beyond this many open ones
+    /// are shed with a retryable `Overloaded` frame instead of queueing
+    /// unboundedly. `usize::MAX` (the default) disables shedding.
+    pub max_conns: usize,
+    /// How long a connection may sit on an *incomplete* frame before
+    /// being evicted (slow-loris defense). The clock starts when the
+    /// partial frame is first observed and is not reset by trickled
+    /// bytes. `None` (the default) disables eviction.
+    pub read_deadline: Option<Duration>,
+    /// How long a connection may sit with no buffered input and no
+    /// pending output before being reaped. `None` (the default)
+    /// disables reaping.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -147,6 +190,12 @@ impl Default for ServerConfig {
             core: CoreKind::Auto,
             shutdown_policy: ShutdownPolicy::LoopbackOnly,
             write_high_water: 1 << 20,
+            store_dir: None,
+            store: None,
+            retain_epochs: 4,
+            max_conns: usize::MAX,
+            read_deadline: None,
+            idle_timeout: None,
         }
     }
 }
@@ -177,6 +226,10 @@ pub struct Server {
     core: CoreKind,
     shutdown_policy: ShutdownPolicy,
     write_high_water: usize,
+    store: Option<Arc<SnapshotStore>>,
+    max_conns: usize,
+    read_deadline: Option<Duration>,
+    idle_timeout: Option<Duration>,
     shutdown: Arc<AtomicBool>,
     /// Filled by the readiness loop on startup so [`ServerHandle`] can
     /// wake it; `None` while (or wherever) the thread-pool core runs.
@@ -266,26 +319,63 @@ struct RoundStatus {
     /// An honored `Shutdown` request: the ack is queued; the daemon
     /// stops once it is flushed.
     shutdown: bool,
+    /// An install (`LoadSnapshot`/`Rollback`) the caller asked to defer:
+    /// the frame is consumed, the round stopped (responses stay in
+    /// request order), and the request handed back for off-thread
+    /// execution.
+    deferred: Option<Request>,
 }
 
 impl Server {
-    /// Binds the listener (no threads yet).
+    /// Binds the listener (no threads yet). When a snapshot store is
+    /// configured this also replays its manifest: the newest valid epoch
+    /// per corpus starts serving before the first connection is
+    /// accepted, and `recoveries_total` counts the replayed corpora.
     pub fn bind(config: ServerConfig, manager: Arc<ShardManager>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(config.addr.as_str())?;
         let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        // An injected store wins (tests wire fault injection through
+        // it); otherwise `store_dir` opens one on the real filesystem.
+        let store = match (&config.store, &config.store_dir) {
+            (Some(store), _) => Some(Arc::clone(store)),
+            (None, Some(dir)) => Some(Arc::new(
+                SnapshotStore::open(dir, config.retain_epochs)
+                    .map_err(|e| std::io::Error::other(e.to_string()))?,
+            )),
+            (None, None) => None,
+        };
+        if let Some(store) = &store {
+            let mut recovered = 0u64;
+            for snap in store.take_recovered() {
+                if manager.load_snapshot_shared_at(snap.corpus, snap.bytes, snap.epoch).is_ok() {
+                    recovered += 1;
+                }
+            }
+            metrics.record_recoveries(recovered);
+        }
         Ok(Self {
             listener,
             local_addr,
             manager,
             cache: QueryCache::new(config.cache_capacity),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             workers: config.workers.max(1),
             core: config.core,
             shutdown_policy: config.shutdown_policy,
             write_high_water: config.write_high_water.max(1024),
+            store,
+            max_conns: config.max_conns.max(1),
+            read_deadline: config.read_deadline,
+            idle_timeout: config.idle_timeout,
             shutdown: Arc::new(AtomicBool::new(false)),
             waker: Arc::new(Mutex::new(None)),
         })
+    }
+
+    /// The snapshot store this daemon persists to, if any.
+    pub fn store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.as_ref()
     }
 
     /// The bound address (with the ephemeral port resolved).
@@ -353,6 +443,15 @@ impl Server {
                 match conn {
                     Ok(stream) => {
                         accept_errors = 0;
+                        // Admission bound: shed instead of queueing
+                        // unboundedly behind busy workers. Counting at
+                        // the acceptor (not the worker) makes queued
+                        // connections count against the bound too.
+                        if self.metrics.conns_open_now() >= self.max_conns as u64 {
+                            self.shed_overloaded(stream);
+                            continue;
+                        }
+                        self.metrics.conn_opened();
                         // Send fails only if all workers exited (shutdown).
                         if tx.send(stream).is_err() {
                             break;
@@ -384,7 +483,7 @@ impl Server {
     /// Serves one connection to completion (client close, shutdown, or a
     /// fatal framing/IO error).
     fn handle_connection(&self, stream: TcpStream) {
-        self.metrics.conn_opened();
+        // conn_opened is recorded by the acceptor (admission bound).
         let _ = stream.set_nodelay(true);
         // A finite read timeout turns blocking reads into shutdown polls.
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -399,6 +498,11 @@ impl Server {
         let mut buf = RecvBuf::new();
         let mut out: Vec<u8> = Vec::with_capacity(4096);
         let mut peer_closed = false;
+        // Abuse tracking: when the current *incomplete* frame was first
+        // observed (read deadline — trickled bytes do not reset it) and
+        // when this connection last finished a round (idle timeout).
+        let mut frame_start: Option<Instant> = None;
+        let mut round_end = Instant::now();
 
         'conn: loop {
             // Phase 1: block (in timeout slices) until one complete frame.
@@ -411,6 +515,23 @@ impl Server {
                     Ok(None) => {
                         if peer_closed || self.shutdown.load(Ordering::SeqCst) {
                             break 'conn;
+                        }
+                        if buf.is_empty() {
+                            frame_start = None;
+                            if let Some(idle) = self.idle_timeout {
+                                if round_end.elapsed() >= idle {
+                                    self.metrics.record_idle_reaped();
+                                    break 'conn;
+                                }
+                            }
+                        } else {
+                            let started = *frame_start.get_or_insert_with(Instant::now);
+                            if let Some(deadline) = self.read_deadline {
+                                if started.elapsed() >= deadline {
+                                    self.metrics.record_deadline_evicted();
+                                    break 'conn;
+                                }
+                            }
                         }
                         match buf.read_from(&mut stream) {
                             ReadOutcome::Data => {}
@@ -443,7 +564,9 @@ impl Server {
             // Phase 3: decode + answer every complete frame, then flush
             // the whole round in a single write.
             out.clear();
-            let status = self.process_round(&mut buf, &mut out, peer, usize::MAX);
+            let status = self.process_round(&mut buf, &mut out, peer, usize::MAX, false);
+            frame_start = None;
+            round_end = Instant::now();
             if !out.is_empty() && stream.write_all(&out).is_err() {
                 break 'conn;
             }
@@ -473,13 +596,19 @@ impl Server {
     /// frame, a corrupt length prefix is hit (error queued, `corrupt`
     /// set), or `out` exceeds `out_budget` (write backpressure: the
     /// remaining frames stay buffered for the next round). Snapshots are
-    /// pinned per shard for the duration of the round.
+    /// pinned per shard for the duration of the round. With
+    /// `defer_installs`, a `LoadSnapshot`/`Rollback` frame is consumed
+    /// but *not* answered: the round stops and hands the request back in
+    /// `deferred` (the readiness core runs it on the installer thread so
+    /// multi-MB decodes never stall the event loop; later frames wait so
+    /// responses stay in request order).
     fn process_round(
         &self,
         buf: &mut RecvBuf,
         out: &mut Vec<u8>,
         peer: IpAddr,
         out_budget: usize,
+        defer_installs: bool,
     ) -> RoundStatus {
         let mut status = RoundStatus::default();
         let mut pinned: HashMap<u32, Option<Arc<ShardSnapshot>>> = HashMap::new();
@@ -507,6 +636,17 @@ impl Server {
                             self.metrics.record_error();
                             Response::Error { message: e.to_string() }
                         }
+                        Ok(req)
+                            if defer_installs
+                                && matches!(
+                                    req,
+                                    Request::LoadSnapshot { .. } | Request::Rollback { .. }
+                                ) =>
+                        {
+                            buf.consume(total);
+                            status.deferred = Some(req);
+                            break;
+                        }
                         Ok(req) => {
                             let (resp, initiate) = self.answer_timed(req, &mut pinned, peer);
                             status.shutdown |= initiate;
@@ -519,6 +659,18 @@ impl Server {
             }
         }
         status
+    }
+
+    /// Answers an over-admission connection with a retryable
+    /// `Overloaded` frame and closes it. Best-effort and bounded: the
+    /// socket is fresh, so the ~30-byte frame either fits the empty
+    /// send buffer immediately or the peer loses a race it was losing
+    /// anyway.
+    fn shed_overloaded(&self, mut stream: TcpStream) {
+        self.metrics.record_overloaded();
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+        let _ = stream.write_all(&encode_response(&Response::Overloaded));
     }
 
     /// Answers one request with metrics instrumentation (op counter,
@@ -537,6 +689,7 @@ impl Server {
             Request::Contains { .. } => (OpKind::Contains, 1),
             Request::Stats => (OpKind::Stats, 0),
             Request::LoadSnapshot { .. } => (OpKind::LoadSnapshot, 0),
+            Request::Rollback { .. } => (OpKind::Rollback, 0),
             Request::Metrics => (OpKind::Metrics, 0),
             Request::Shutdown => (OpKind::Shutdown, 0),
         };
@@ -617,23 +770,81 @@ impl Server {
                 self.metrics.report(self.cache_stats(), self.manager.metrics_shards()),
             ),
             Request::LoadSnapshot { shard, snapshot } => {
-                // Shared ownership end to end: an uncompressed v2
-                // snapshot is installed borrowed, pointing into the very
-                // buffer the wire decoder produced — no array copies.
-                match self.manager.load_snapshot_shared(shard, snapshot) {
-                    Ok(snap) => {
-                        // Later requests in this round must see the new
-                        // epoch: drop the stale pin.
-                        pinned.remove(&shard);
-                        Response::LoadSnapshot {
-                            epoch: snap.epoch,
-                            node_count: snap.synopsis.node_count() as u64,
-                        }
-                    }
-                    Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
+                let resp = self.install_snapshot(shard, snapshot);
+                if matches!(resp, Response::LoadSnapshot { .. }) {
+                    // Later requests in this round must see the new
+                    // epoch: drop the stale pin.
+                    pinned.remove(&shard);
                 }
+                resp
+            }
+            Request::Rollback { shard, epoch } => {
+                let resp = self.rollback_snapshot(shard, epoch);
+                if matches!(resp, Response::Rollback { .. }) {
+                    pinned.remove(&shard);
+                }
+                resp
             }
             Request::Shutdown => Response::Shutdown,
+        }
+    }
+
+    /// The `LoadSnapshot` implementation. Without a store: the original
+    /// shared-ownership install (an uncompressed v2 snapshot serves
+    /// borrowed straight from the wire buffer). With a store: validate,
+    /// persist crash-safely, then install under the durable epoch — in
+    /// that order, so the daemon never serves an epoch it cannot
+    /// recover, and a persist failure leaves the old epoch serving.
+    fn install_snapshot(&self, shard: u32, snapshot: Arc<[u8]>) -> Response {
+        let Some(store) = &self.store else {
+            return match self.manager.load_snapshot_shared(shard, snapshot) {
+                Ok(snap) => Response::LoadSnapshot {
+                    epoch: snap.epoch,
+                    node_count: snap.synopsis.node_count() as u64,
+                },
+                Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
+            };
+        };
+        if let Err(e) = FrozenSynopsis::from_bytes_shared(Arc::clone(&snapshot)) {
+            return Response::Error { message: format!("snapshot rejected: {e}") };
+        }
+        let epoch = match store.persist(shard, &snapshot) {
+            Ok(epoch) => epoch,
+            Err(e) => {
+                return Response::Error {
+                    message: format!("snapshot not persisted (prior epoch keeps serving): {e}"),
+                }
+            }
+        };
+        match self.manager.load_snapshot_shared_at(shard, snapshot, epoch) {
+            Ok(snap) => Response::LoadSnapshot {
+                epoch: snap.epoch,
+                node_count: snap.synopsis.node_count() as u64,
+            },
+            Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
+        }
+    }
+
+    /// The `Rollback` implementation: re-reads and re-validates the
+    /// retained epoch's payload from the store, commits it under a fresh
+    /// durable epoch, and hot-swaps it in.
+    fn rollback_snapshot(&self, shard: u32, epoch: u64) -> Response {
+        let Some(store) = &self.store else {
+            return Response::Error {
+                message: "rollback refused: the daemon runs without a snapshot store".to_string(),
+            };
+        };
+        match store.rollback(shard, epoch) {
+            Err(e) => Response::Error { message: format!("rollback refused: {e}") },
+            Ok((new_epoch, bytes)) => {
+                match self.manager.load_snapshot_shared_at(shard, bytes, new_epoch) {
+                    Ok(snap) => {
+                        self.metrics.record_rollback();
+                        Response::Rollback { epoch: snap.epoch }
+                    }
+                    Err(e) => Response::Error { message: format!("rollback refused: {e}") },
+                }
+            }
         }
     }
 
@@ -798,12 +1009,37 @@ mod readiness {
         /// This connection carries the shutdown ack; the loop ends when
         /// it is flushed.
         shutdown_ack: bool,
+        /// An install is in flight on the installer thread: reading and
+        /// answering pause (responses must stay in request order) until
+        /// the completion comes back through the wake pipe.
+        blocked: bool,
+        /// Last readiness/pump activity (idle-reap clock).
+        last_activity: Instant,
+        /// When the current incomplete frame was first observed by the
+        /// sweeper (read-deadline clock; trickled bytes do not reset it,
+        /// so a slow-loris drip still runs out the deadline).
+        stall_since: Option<Instant>,
     }
 
     impl Conn {
         fn pending_out(&self) -> usize {
             self.out.len() - self.sent
         }
+    }
+
+    /// A deferred install travelling to the installer thread.
+    struct InstallJob {
+        idx: usize,
+        gen: u32,
+        peer: IpAddr,
+        req: Request,
+    }
+
+    /// The installer's finished, already-encoded answer travelling back.
+    struct InstallDone {
+        idx: usize,
+        gen: u32,
+        resp: Vec<u8>,
     }
 
     /// What a pump pass decided about the connection.
@@ -839,85 +1075,226 @@ mod readiness {
                 let _ = self.listener.set_nonblocking(false);
                 return self.run_thread_pool();
             }
-            if let Ok(waker) = wake.waker() {
-                *self.waker.lock().expect("waker slot not poisoned") = Some(waker);
+            let loop_waker = wake.waker().ok();
+            if let Some(w) = &loop_waker {
+                *self.waker.lock().expect("waker slot not poisoned") = Some(w.clone());
             }
+            // Eviction sweeps run at a fraction of the tightest timeout,
+            // so an offender is caught within ~25% past its nominal
+            // deadline; None (no deadlines configured) keeps the
+            // historical block-forever wait.
+            let sweep_tick = [self.read_deadline, self.idle_timeout]
+                .into_iter()
+                .flatten()
+                .min()
+                .map(|d| (d / 4).clamp(Duration::from_millis(5), Duration::from_millis(250)));
 
-            let mut conns: Vec<Option<Conn>> = Vec::new();
-            let mut free: Vec<usize> = Vec::new();
-            let mut generation: u32 = 0;
-            let mut events = Events::with_capacity(EVENT_BATCH);
-            let mut accept_errors = 0u32;
-            let mut shutdown_deadline: Option<Instant> = None;
+            let (inst_tx, inst_rx) = std::sync::mpsc::channel::<InstallJob>();
+            let done: Mutex<Vec<InstallDone>> = Mutex::new(Vec::new());
+            let done = &done;
+            std::thread::scope(|scope| {
+                let installer_waker = loop_waker.clone();
+                let srv = self;
+                scope.spawn(move || {
+                    // The installer thread: LoadSnapshot/Rollback decode,
+                    // validate, and persist here — off the event loop —
+                    // so a multi-MB install never stalls unrelated
+                    // connections. answer_timed records the op metrics.
+                    while let Ok(job) = inst_rx.recv() {
+                        let mut pinned = HashMap::new();
+                        let (resp, _) = srv.answer_timed(job.req, &mut pinned, job.peer);
+                        done.lock().expect("install completions not poisoned").push(InstallDone {
+                            idx: job.idx,
+                            gen: job.gen,
+                            resp: encode_response(&resp),
+                        });
+                        if let Some(w) = &installer_waker {
+                            w.wake();
+                        }
+                    }
+                });
 
-            'event_loop: loop {
-                let shutting_down = self.shutdown.load(Ordering::SeqCst);
-                if shutting_down {
-                    // Exit once no ack is pending (or the flush budget is
-                    // spent); until then, poll with a short timeout so a
-                    // wedged ack peer cannot hold shutdown hostage.
-                    let deadline = *shutdown_deadline
-                        .get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_BUDGET);
-                    let acks_pending =
-                        conns.iter().flatten().any(|c| c.shutdown_ack && c.pending_out() > 0);
-                    if !acks_pending || Instant::now() >= deadline {
+                let mut conns: Vec<Option<Conn>> = Vec::new();
+                let mut free: Vec<usize> = Vec::new();
+                let mut generation: u32 = 0;
+                let mut events = Events::with_capacity(EVENT_BATCH);
+                let mut accept_errors = 0u32;
+                let mut shutdown_deadline: Option<Instant> = None;
+                let mut last_sweep = Instant::now();
+
+                'event_loop: loop {
+                    let shutting_down = self.shutdown.load(Ordering::SeqCst);
+                    if shutting_down {
+                        // Exit once no ack is pending (or the flush budget
+                        // is spent); until then, poll with a short timeout
+                        // so a wedged ack peer cannot hold shutdown
+                        // hostage.
+                        let deadline = *shutdown_deadline
+                            .get_or_insert_with(|| Instant::now() + SHUTDOWN_FLUSH_BUDGET);
+                        let acks_pending =
+                            conns.iter().flatten().any(|c| c.shutdown_ack && c.pending_out() > 0);
+                        if !acks_pending || Instant::now() >= deadline {
+                            break 'event_loop;
+                        }
+                    }
+                    let timeout = if shutting_down {
+                        Some(50)
+                    } else if sweep_tick.is_some() && self.metrics.conns_open_now() > 0 {
+                        sweep_tick.map(|t| (t.as_millis().max(1)) as i32)
+                    } else if loop_waker.is_none() {
+                        // No self-pipe: poll so installer completions and
+                        // handle shutdowns still get noticed.
+                        Some(50)
+                    } else {
+                        None
+                    };
+                    if poller.wait(&mut events, timeout).is_err() {
                         break 'event_loop;
                     }
-                }
-                let timeout = if shutting_down { Some(50) } else { None };
-                let n = match poller.wait(&mut events, timeout) {
-                    Ok(n) => n,
-                    Err(_) => break 'event_loop,
-                };
-                if n == 0 && !shutting_down {
-                    continue;
-                }
-                let batch: Vec<crate::poll::Event> = events.iter().collect();
-                for ev in batch {
-                    match ev.token {
-                        TOKEN_WAKE => wake.drain(),
-                        TOKEN_LISTENER => {
-                            if self.shutdown.load(Ordering::SeqCst) {
-                                continue;
+                    let batch: Vec<crate::poll::Event> = events.iter().collect();
+                    for ev in batch {
+                        match ev.token {
+                            TOKEN_WAKE => {
+                                wake.drain();
+                                // Drain installer completions: queue the
+                                // response, unblock, and pump the
+                                // connection forward (it may have more
+                                // buffered frames to answer).
+                                let completions: Vec<InstallDone> = {
+                                    let mut guard =
+                                        done.lock().expect("install completions not poisoned");
+                                    guard.drain(..).collect()
+                                };
+                                for d in completions {
+                                    let Some(slot) = conns.get_mut(d.idx) else { continue };
+                                    let Some(conn) = slot.as_mut() else { continue };
+                                    if conn.generation != d.gen || !conn.blocked {
+                                        continue; // connection recycled meanwhile
+                                    }
+                                    conn.out.extend_from_slice(&d.resp);
+                                    conn.blocked = false;
+                                    if matches!(
+                                        self.pump(&poller, conn, d.idx, &inst_tx),
+                                        Pump::Close
+                                    ) {
+                                        let conn = slot.take().expect("checked above");
+                                        let _ = poller.delete(conn.stream.as_raw_fd());
+                                        free.push(d.idx);
+                                        self.metrics.conn_closed();
+                                    }
+                                }
                             }
-                            accept_errors = self.accept_ready(
-                                &poller,
-                                &mut conns,
-                                &mut free,
-                                &mut generation,
-                                accept_errors,
-                            );
-                        }
-                        token => {
-                            let idx = (token & 0xFFFF_FFFF) as usize - TOKEN_CONN_BASE as usize;
-                            let gen = (token >> 32) as u32;
-                            let Some(slot) = conns.get_mut(idx) else { continue };
-                            let Some(conn) = slot.as_mut() else { continue };
-                            if conn.generation != gen {
-                                continue; // stale event for a recycled slot
+                            TOKEN_LISTENER => {
+                                if self.shutdown.load(Ordering::SeqCst) {
+                                    continue;
+                                }
+                                accept_errors = self.accept_ready(
+                                    &poller,
+                                    &mut conns,
+                                    &mut free,
+                                    &mut generation,
+                                    accept_errors,
+                                );
                             }
-                            let verdict =
-                                if ev.error { Pump::Close } else { self.pump(&poller, conn, idx) };
-                            if matches!(verdict, Pump::Close) {
-                                let conn = slot.take().expect("checked above");
-                                let _ = poller.delete(conn.stream.as_raw_fd());
-                                free.push(idx);
-                                self.metrics.conn_closed();
+                            token => {
+                                let idx = (token & 0xFFFF_FFFF) as usize - TOKEN_CONN_BASE as usize;
+                                let gen = (token >> 32) as u32;
+                                let Some(slot) = conns.get_mut(idx) else { continue };
+                                let Some(conn) = slot.as_mut() else { continue };
+                                if conn.generation != gen {
+                                    continue; // stale event for a recycled slot
+                                }
+                                let verdict = if ev.error {
+                                    Pump::Close
+                                } else {
+                                    self.pump(&poller, conn, idx, &inst_tx)
+                                };
+                                if matches!(verdict, Pump::Close) {
+                                    let conn = slot.take().expect("checked above");
+                                    let _ = poller.delete(conn.stream.as_raw_fd());
+                                    free.push(idx);
+                                    self.metrics.conn_closed();
+                                }
                             }
                         }
                     }
+                    if let Some(tick) = sweep_tick {
+                        let now = Instant::now();
+                        if now.duration_since(last_sweep) >= tick {
+                            self.sweep_conns(&poller, &mut conns, &mut free, now);
+                            last_sweep = now;
+                        }
+                    }
                 }
-            }
 
-            // Teardown: every remaining connection closes; the listener
-            // returns to blocking mode so a later `run` works either way.
-            for conn in conns.into_iter().flatten() {
-                let _ = poller.delete(conn.stream.as_raw_fd());
-                drop(conn.stream);
-                self.metrics.conn_closed();
-            }
+                // Teardown: every remaining connection closes; the
+                // installer sees the channel hang up and exits before the
+                // scope joins it.
+                for conn in conns.into_iter().flatten() {
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    drop(conn.stream);
+                    self.metrics.conn_closed();
+                }
+                drop(inst_tx);
+            });
             let _ = self.listener.set_nonblocking(false);
             *self.waker.lock().expect("waker slot not poisoned") = None;
+        }
+
+        /// One timeout sweep over every connection: evict mid-frame
+        /// stalls past the read deadline (slow-loris) and reap
+        /// connections idle past the idle timeout. Blocked (install in
+        /// flight) and closing connections are exempt — they are waiting
+        /// on us, not the other way around.
+        fn sweep_conns(
+            &self,
+            poller: &Poller,
+            conns: &mut [Option<Conn>],
+            free: &mut Vec<usize>,
+            now: Instant,
+        ) {
+            for idx in 0..conns.len() {
+                let Some(conn) = conns[idx].as_mut() else { continue };
+                if conn.closing || conn.blocked {
+                    continue;
+                }
+                let mut evict = false;
+                let mid_frame =
+                    !conn.buf.is_empty() && matches!(frame_len(conn.buf.filled()), Ok(None));
+                if let Some(deadline) = self.read_deadline {
+                    if mid_frame {
+                        // The stall clock starts when the partial frame
+                        // is first observed and is *not* reset by
+                        // trickled bytes: a slow-loris drip never
+                        // completes the frame, so it runs out the
+                        // deadline no matter how often it sends.
+                        let since = *conn.stall_since.get_or_insert(now);
+                        if now.duration_since(since) >= deadline {
+                            evict = true;
+                            self.metrics.record_deadline_evicted();
+                        }
+                    } else {
+                        conn.stall_since = None;
+                    }
+                }
+                if !evict {
+                    if let Some(idle) = self.idle_timeout {
+                        if conn.buf.is_empty()
+                            && conn.pending_out() == 0
+                            && now.duration_since(conn.last_activity) >= idle
+                        {
+                            evict = true;
+                            self.metrics.record_idle_reaped();
+                        }
+                    }
+                }
+                if evict {
+                    let conn = conns[idx].take().expect("checked above");
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    free.push(idx);
+                    self.metrics.conn_closed();
+                }
+            }
         }
 
         /// Accepts until `WouldBlock`, registering each connection for
@@ -935,6 +1312,13 @@ mod readiness {
                 match self.listener.accept() {
                     Ok((stream, peer)) => {
                         accept_errors = 0;
+                        // Admission bound: shed with a retryable
+                        // Overloaded frame instead of multiplexing
+                        // without limit.
+                        if self.metrics.conns_open_now() >= self.max_conns as u64 {
+                            self.shed_overloaded(stream);
+                            continue;
+                        }
                         if stream.set_nonblocking(true).is_err() {
                             continue; // a socket we cannot drive; drop it
                         }
@@ -960,6 +1344,9 @@ mod readiness {
                             peer_closed: false,
                             closing: false,
                             shutdown_ack: false,
+                            blocked: false,
+                            last_activity: Instant::now(),
+                            stall_since: None,
                         });
                         self.metrics.conn_opened();
                     }
@@ -982,19 +1369,26 @@ mod readiness {
         /// Drives one connection as far as readiness allows: drain reads
         /// (edge-triggered contract), answer buffered frames within the
         /// write budget, flush, and re-arm the right interest set.
-        fn pump(&self, poller: &Poller, conn: &mut Conn, idx: usize) -> Pump {
+        fn pump(
+            &self,
+            poller: &Poller,
+            conn: &mut Conn,
+            idx: usize,
+            inst_tx: &Sender<InstallJob>,
+        ) -> Pump {
             let high_water = self.write_high_water;
+            conn.last_activity = Instant::now();
             loop {
                 // Answer whatever is already buffered, bounded by the
                 // write budget (backpressure pauses answering too — the
                 // unanswered frames stay in `buf`).
-                if !conn.closing {
+                if !conn.closing && !conn.blocked {
                     // The budget bounds *pending* (unsent) output: `out`
                     // may still carry a flushed-but-uncompacted prefix of
                     // `sent` bytes, which must not eat the allowance.
                     let budget = conn.sent.saturating_add(high_water);
                     let status =
-                        self.process_round(&mut conn.buf, &mut conn.out, conn.peer, budget);
+                        self.process_round(&mut conn.buf, &mut conn.out, conn.peer, budget, true);
                     if status.shutdown {
                         self.shutdown.store(true, Ordering::SeqCst);
                         conn.shutdown_ack = true;
@@ -1002,6 +1396,18 @@ mod readiness {
                     }
                     if status.corrupt {
                         conn.closing = true;
+                    }
+                    if let Some(req) = status.deferred {
+                        // Hand the install to the installer thread and
+                        // pause this connection until the completion
+                        // comes back (responses stay in request order).
+                        conn.blocked = true;
+                        let _ = inst_tx.send(InstallJob {
+                            idx,
+                            gen: conn.generation,
+                            peer: conn.peer,
+                            req,
+                        });
                     }
                 }
                 match flush_out(conn) {
@@ -1011,9 +1417,9 @@ mod readiness {
                 if conn.pending_out() == 0 && conn.closing {
                     return Pump::Close;
                 }
-                // Over the high-water mark (or closing): reading — and
-                // therefore answering — pauses until the peer drains.
-                if conn.closing || conn.pending_out() > high_water {
+                // Over the high-water mark, blocked on an install, or
+                // closing: reading — and therefore answering — pauses.
+                if conn.closing || conn.blocked || conn.pending_out() > high_water {
                     break;
                 }
                 if conn.peer_closed {
@@ -1047,10 +1453,13 @@ mod readiness {
                     ReadOutcome::Fatal => return Pump::Close,
                 }
             }
-            // Re-arm: readable unless backpressured/closing, writable
-            // while output is pending.
+            // Re-arm: readable unless backpressured/blocked/closing,
+            // writable while output is pending.
             let want = Interest {
-                readable: !conn.closing && conn.pending_out() <= high_water && !conn.peer_closed,
+                readable: !conn.closing
+                    && !conn.blocked
+                    && conn.pending_out() <= high_water
+                    && !conn.peer_closed,
                 writable: conn.pending_out() > 0,
             };
             if (want.readable || want.writable) && want != conn.interest {

@@ -111,6 +111,49 @@ impl ShardManager {
         Ok(self.install_arc(shard, synopsis, serialized_len))
     }
 
+    /// [`Self::load_snapshot_shared`] under an *explicit* epoch — the
+    /// snapshot store's durable epoch, replayed at recovery or allocated
+    /// at persist time — instead of a counter-allocated one. The internal
+    /// counter is bumped past `epoch`, so later store-less installs can
+    /// never collide with (or run behind) a durable epoch, and the
+    /// `(shard, epoch)` cache-key uniqueness invariant holds across both
+    /// allocation paths.
+    pub fn load_snapshot_shared_at(
+        &self,
+        shard: u32,
+        bytes: Arc<[u8]>,
+        epoch: u64,
+    ) -> Result<Arc<ShardSnapshot>, DecodeError> {
+        let serialized_len = bytes.len();
+        let synopsis = FrozenSynopsis::from_bytes_shared(bytes)?;
+        Ok(self.install_at(shard, synopsis, serialized_len, epoch))
+    }
+
+    /// Installs a pre-validated synopsis under an explicit (durable)
+    /// epoch. Like [`Self::install`], but the caller owns epoch
+    /// allocation; an install whose epoch is *older* than the resident
+    /// snapshot's is refused (the resident snapshot is returned), so a
+    /// racing pair of store persists can never leave the stale one
+    /// serving.
+    pub fn install_at(
+        &self,
+        shard: u32,
+        synopsis: FrozenSynopsis,
+        serialized_len: usize,
+        epoch: u64,
+    ) -> Arc<ShardSnapshot> {
+        let mut shards = self.shards.write().expect("shard map not poisoned");
+        self.next_epoch.fetch_max(epoch + 1, Ordering::Relaxed);
+        if let Some(resident) = shards.get(&shard) {
+            if resident.epoch >= epoch {
+                return Arc::clone(resident);
+            }
+        }
+        let snap = Arc::new(ShardSnapshot { epoch, serialized_len, synopsis });
+        shards.insert(shard, Arc::clone(&snap));
+        snap
+    }
+
     /// The one swap path. The epoch is allocated *inside* the write
     /// lock: concurrent installs on the same shard then agree that the
     /// snapshot left resident is the one with the highest epoch —
@@ -269,6 +312,24 @@ mod tests {
         let snap = m.load_snapshot_shared(5, v1).unwrap();
         assert!(!snap.synopsis.is_borrowed());
         assert_eq!(snap.synopsis.query(b"a"), 6.5);
+    }
+
+    #[test]
+    fn install_at_pins_durable_epochs_and_never_downgrades() {
+        let m = ShardManager::new();
+        // Recovery replay: install under the manifest's epoch.
+        let bytes: Arc<[u8]> = synopsis(3.0).to_bytes().into();
+        let snap = m.load_snapshot_shared_at(0, Arc::clone(&bytes), 40).unwrap();
+        assert_eq!(snap.epoch, 40);
+        // The counter moved past the durable epoch: a store-less install
+        // cannot collide.
+        assert!(m.install(1, synopsis(1.0), 0) > 40);
+        // A stale durable epoch loses to the resident snapshot.
+        let newer = m.load_snapshot_shared_at(0, synopsis(9.0).to_bytes().into(), 50).unwrap();
+        assert_eq!(newer.epoch, 50);
+        let stale = m.install_at(0, synopsis(2.0), 0, 45);
+        assert_eq!(stale.epoch, 50, "older epoch must not shadow a newer resident");
+        assert_eq!(m.snapshot(0).unwrap().synopsis.query(b"a"), 9.0);
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //! | 4 `LoadSnapshot` | shard `u32`, `u64` len + `DPSF` bytes | epoch `u64`, node count `u64` |
 //! | 5 `Shutdown` | — | — |
 //! | 6 `Metrics` | — | counters + latency percentiles + per-shard records (see [`MetricsReport`]) |
+//! | 7 `Rollback` | shard `u32`, epoch `u64` | epoch `u64` (the re-installed snapshot's new serving epoch) |
 //!
 //! An error response carries status `1` and a UTF-8 message instead of
-//! the ok payload. Floats travel as IEEE-754 bit patterns, so served
-//! counts round-trip bit-exactly.
+//! the ok payload. Status `2` is `Overloaded` — an empty-payload,
+//! *retryable* rejection the daemon sheds load with when its admission
+//! bound is hit (the connection is closed after the frame; reconnect and
+//! retry with backoff). Floats travel as IEEE-754 bit patterns, so
+//! served counts round-trip bit-exactly.
 
 use std::sync::Arc;
 
@@ -54,10 +58,12 @@ const OP_STATS: u8 = 3;
 const OP_LOAD_SNAPSHOT: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_METRICS: u8 = 6;
+const OP_ROLLBACK: u8 = 7;
 
 /// Response status bytes.
 const STATUS_OK: u8 = 0;
 const STATUS_ERROR: u8 = 1;
+const STATUS_OVERLOADED: u8 = 2;
 
 /// A request frame, decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +112,18 @@ pub enum Request {
     /// percentiles from the fixed-bucket histogram, cache hit rate, and
     /// per-shard epoch/size — see [`MetricsReport`].
     Metrics,
+    /// Re-install a prior retained epoch of `shard` from the daemon's
+    /// snapshot store (the release-once escape hatch: a bad install is
+    /// undone without rebuilding — and re-spending ε on — the synopsis).
+    /// Refused when the daemon runs without a store or the epoch is no
+    /// longer retained.
+    Rollback {
+        /// Corpus id to roll back.
+        shard: u32,
+        /// The *durable* epoch to re-install, as previously reported by
+        /// `LoadSnapshot`/`Stats` while it was resident.
+        epoch: u64,
+    },
 }
 
 /// A response frame, decoded.
@@ -139,6 +157,17 @@ pub enum Response {
     Shutdown,
     /// Answer to [`Request::Metrics`].
     Metrics(MetricsReport),
+    /// Answer to [`Request::Rollback`].
+    Rollback {
+        /// The new serving epoch the retained snapshot was re-installed
+        /// under (strictly increasing, like every install).
+        epoch: u64,
+    },
+    /// The daemon's admission bound is hit: the request was *not*
+    /// executed and the connection closes after this frame. Retryable by
+    /// construction — reconnect with backoff (see
+    /// [`crate::client::RetryPolicy`]).
+    Overloaded,
     /// The request could not be served (unknown shard, corrupt
     /// snapshot, …). Carries a human-readable reason.
     Error {
@@ -163,6 +192,8 @@ pub struct OpCounts {
     pub stats: u64,
     /// `LoadSnapshot` frames answered (successful installs).
     pub load_snapshot: u64,
+    /// `Rollback` frames answered (successful re-installs).
+    pub rollback: u64,
     /// `Metrics` frames answered.
     pub metrics: u64,
     /// `Shutdown` frames honored.
@@ -198,6 +229,19 @@ pub struct MetricsReport {
     pub ops: OpCounts,
     /// Individual pattern lookups answered (a `QueryBatch` of k adds k).
     pub patterns_total: u64,
+    /// Connections shed with an `Overloaded` frame at the admission
+    /// bound (each was closed without executing a request).
+    pub overloaded_total: u64,
+    /// Idle connections reaped by the idle timeout.
+    pub idle_reaped_total: u64,
+    /// Connections evicted for stalling mid-frame past the read deadline
+    /// (slow-loris defense).
+    pub deadline_evicted_total: u64,
+    /// Shards re-installed from the snapshot store at startup (manifest
+    /// replay recoveries).
+    pub recoveries_total: u64,
+    /// Successful `Rollback` re-installs over the daemon's lifetime.
+    pub rollbacks_total: u64,
     /// `patterns_total` over uptime: the lifetime average served qps.
     pub qps: f64,
     /// Median per-request service latency (answer computation, network
@@ -369,6 +413,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Shutdown => body.push(OP_SHUTDOWN),
         Request::Metrics => body.push(OP_METRICS),
+        Request::Rollback { shard, epoch } => {
+            body.push(OP_ROLLBACK);
+            push_u32(&mut body, *shard);
+            push_u64(&mut body, *epoch);
+        }
     }
     seal(body)
 }
@@ -418,6 +467,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         }
         OP_SHUTDOWN => Request::Shutdown,
         OP_METRICS => Request::Metrics,
+        OP_ROLLBACK => Request::Rollback { shard: cur.u32()?, epoch: cur.u64()? },
         other => {
             return Err(DecodeError::BadField {
                 field: "opcode",
@@ -443,6 +493,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             body.push(STATUS_ERROR);
             push_pattern(&mut body, message.as_bytes());
         }
+        Response::Overloaded => body.push(STATUS_OVERLOADED),
         ok => {
             body.push(STATUS_OK);
             match ok {
@@ -488,6 +539,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     push_u64(&mut body, *node_count);
                 }
                 Response::Shutdown => body.push(OP_SHUTDOWN),
+                Response::Rollback { epoch } => {
+                    body.push(OP_ROLLBACK);
+                    push_u64(&mut body, *epoch);
+                }
                 Response::Metrics(m) => {
                     body.push(OP_METRICS);
                     push_u64(&mut body, m.uptime_ns);
@@ -498,10 +553,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     push_u64(&mut body, m.ops.contains);
                     push_u64(&mut body, m.ops.stats);
                     push_u64(&mut body, m.ops.load_snapshot);
+                    push_u64(&mut body, m.ops.rollback);
                     push_u64(&mut body, m.ops.metrics);
                     push_u64(&mut body, m.ops.shutdown);
                     push_u64(&mut body, m.ops.errors);
                     push_u64(&mut body, m.patterns_total);
+                    push_u64(&mut body, m.overloaded_total);
+                    push_u64(&mut body, m.idle_reaped_total);
+                    push_u64(&mut body, m.deadline_evicted_total);
+                    push_u64(&mut body, m.recoveries_total);
+                    push_u64(&mut body, m.rollbacks_total);
                     push_f64(&mut body, m.qps);
                     push_f64(&mut body, m.latency_p50_ns);
                     push_f64(&mut body, m.latency_p99_ns);
@@ -517,7 +578,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                         push_u64(&mut body, s.serialized_len);
                     }
                 }
-                Response::Error { .. } => unreachable!("handled above"),
+                Response::Error { .. } | Response::Overloaded => unreachable!("handled above"),
             }
         }
     }
@@ -537,6 +598,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
             })?;
             Response::Error { message }
         }
+        STATUS_OVERLOADED => Response::Overloaded,
         STATUS_OK => match cur.u8()? {
             OP_QUERY => Response::Query { value: cur.f64()? },
             OP_QUERY_BATCH => {
@@ -600,6 +662,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 Response::LoadSnapshot { epoch: cur.u64()?, node_count: cur.u64()? }
             }
             OP_SHUTDOWN => Response::Shutdown,
+            OP_ROLLBACK => Response::Rollback { epoch: cur.u64()? },
             OP_METRICS => {
                 let uptime_ns = cur.u64()?;
                 let conns_accepted = cur.u64()?;
@@ -610,11 +673,17 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                     contains: cur.u64()?,
                     stats: cur.u64()?,
                     load_snapshot: cur.u64()?,
+                    rollback: cur.u64()?,
                     metrics: cur.u64()?,
                     shutdown: cur.u64()?,
                     errors: cur.u64()?,
                 };
                 let patterns_total = cur.u64()?;
+                let overloaded_total = cur.u64()?;
+                let idle_reaped_total = cur.u64()?;
+                let deadline_evicted_total = cur.u64()?;
+                let recoveries_total = cur.u64()?;
+                let rollbacks_total = cur.u64()?;
                 let qps = cur.f64()?;
                 let latency_p50_ns = cur.f64()?;
                 let latency_p99_ns = cur.f64()?;
@@ -647,6 +716,11 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                     conns_open,
                     ops,
                     patterns_total,
+                    overloaded_total,
+                    idle_reaped_total,
+                    deadline_evicted_total,
+                    recoveries_total,
+                    rollbacks_total,
                     qps,
                     latency_p50_ns,
                     latency_p99_ns,
@@ -713,6 +787,7 @@ mod tests {
             Request::LoadSnapshot { shard: 9, snapshot: vec![1, 2, 3, 4, 5].into() },
             Request::Shutdown,
             Request::Metrics,
+            Request::Rollback { shard: 4, epoch: 17 },
         ]
     }
 
@@ -753,11 +828,17 @@ mod tests {
                     contains: 3,
                     stats: 2,
                     load_snapshot: 4,
+                    rollback: 2,
                     metrics: 1,
                     shutdown: 0,
                     errors: 5,
                 },
                 patterns_total: 330,
+                overloaded_total: 7,
+                idle_reaped_total: 2,
+                deadline_evicted_total: 1,
+                recoveries_total: 3,
+                rollbacks_total: 2,
                 qps: 2_672_001.5,
                 latency_p50_ns: 768.0,
                 latency_p99_ns: 3072.0,
@@ -774,6 +855,11 @@ mod tests {
                 conns_open: 0,
                 ops: OpCounts::default(),
                 patterns_total: 0,
+                overloaded_total: 0,
+                idle_reaped_total: 0,
+                deadline_evicted_total: 0,
+                recoveries_total: 0,
+                rollbacks_total: 0,
                 qps: 0.0,
                 latency_p50_ns: 0.0,
                 latency_p99_ns: 0.0,
@@ -781,6 +867,8 @@ mod tests {
                 cache_hit_rate: 0.0,
                 shards: Vec::new(),
             }),
+            Response::Rollback { epoch: 41 },
+            Response::Overloaded,
             Response::Error { message: "unknown shard 12".to_string() },
         ]
     }

@@ -204,6 +204,80 @@ def main() -> int:
                 f"({cur_metrics['generator_patterns_total']})"
             )
 
+    # Degradation counters (overload sheds, deadline evictions, idle
+    # reaps, rollbacks): each daemon counter must equal what the
+    # generator observed — an exact reconciliation, not a perf gate.
+    # Tolerated as absent in older baselines/runs during the transition.
+    cur_deg = current.get("degradation")
+    if cur_deg is None:
+        if baseline.get("degradation") is not None:
+            failures.append(
+                "degradation: section present in baseline but missing from current run"
+            )
+    else:
+        for total, observed in (
+            ("overloaded_total", "shed_observed"),
+            ("deadline_evicted_total", "loris_observed"),
+            ("idle_reaped_total", "idle_observed"),
+            ("rollbacks_total", "rollback_observed"),
+        ):
+            if cur_deg[total] != cur_deg[observed]:
+                failures.append(
+                    f"degradation: daemon {total} ({cur_deg[total]}) disagrees with "
+                    f"the generator's {observed} ({cur_deg[observed]})"
+                )
+            elif cur_deg[total] == 0:
+                failures.append(
+                    f"degradation: {total} is 0 — the robustness scenario did not "
+                    "exercise this path"
+                )
+        print(
+            "[serve-gate] degradation: "
+            + ", ".join(
+                f"{k}={cur_deg[k]}"
+                for k in (
+                    "overloaded_total",
+                    "deadline_evicted_total",
+                    "idle_reaped_total",
+                    "rollbacks_total",
+                )
+            )
+            + " (all reconciled)"
+        )
+
+    # Crash-restart recovery: persist → kill → torn manifest tail →
+    # recover → first bit-identical answer. Gated like a latency column
+    # against the baseline when present; the recovery count itself is a
+    # structural fact.
+    cur_dur = current.get("durability")
+    base_dur = baseline.get("durability")
+    if cur_dur is None:
+        if base_dur is not None:
+            failures.append(
+                "durability: section present in baseline but missing from current run"
+            )
+    else:
+        if cur_dur["recoveries_total"] < 1:
+            failures.append("durability: restart recovered no corpora")
+        if base_dur is not None:
+            b_ns, c_ns = base_dur["restart_recovery_ns"], cur_dur["restart_recovery_ns"]
+            ratio = c_ns / b_ns if b_ns else float("inf")
+            status = "OK" if ratio <= max_slowdown else "REGRESSION"
+            print(
+                f"[serve-gate] restart_recovery_ns {b_ns:.0f} -> {c_ns:.0f} ns "
+                f"({ratio:.2f}x slower-factor) {status}"
+            )
+            if ratio > max_slowdown:
+                failures.append(
+                    f"durability: restart_recovery_ns regressed {ratio:.2f}x "
+                    f"(limit {max_slowdown:.2f}x)"
+                )
+        else:
+            print(
+                f"[serve-gate] restart_recovery_ns {cur_dur['restart_recovery_ns']:.0f} ns "
+                "(no baseline, informational only)"
+            )
+
     if failures:
         print("[serve-gate] FAILED:")
         for f in failures:

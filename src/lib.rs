@@ -81,8 +81,8 @@ pub mod prelude {
         PrivateCountStructure, QgramParams, SimpleTrieParams, SnapshotCodec,
     };
     pub use dpsc_serve::{
-        Client, CoreKind, MetricsReport, Server, ServerConfig, ServerHandle, ShardManager,
-        ShutdownPolicy,
+        Client, ClientConfig, ClientError, CoreKind, MetricsReport, RetryPolicy, Server,
+        ServerConfig, ServerHandle, ShardManager, ShutdownPolicy, SnapshotStore,
     };
     pub use dpsc_strkit::alphabet::{Alphabet, Database};
     pub use dpsc_textindex::CorpusIndex;

@@ -4,11 +4,16 @@
 //! what a cold walk returns, and `Stats` surfaces the utility bounds of
 //! what is actually being served.
 
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use dp_substring_counting::prelude::*;
-use dp_substring_counting::serve::{Request, Response};
+use dp_substring_counting::serve::wire::decode_response;
+use dp_substring_counting::serve::{RealIo, Request, Response, StoreIo};
 use dp_substring_counting::strkit::trie::Trie;
 use dp_substring_counting::workloads::markov_corpus;
 use rand::rngs::StdRng;
@@ -511,7 +516,14 @@ fn metrics_reconcile_with_client_side_counts() {
     assert_eq!(report.ops.load_snapshot, 1);
     assert_eq!(report.ops.metrics, 0, "a report snapshots counters before its own op lands");
     assert_eq!(report.ops.shutdown, 0);
+    assert_eq!(report.ops.rollback, 0);
     assert_eq!(report.ops.errors, 1);
+    // Degradation counters: a healthy unstressed daemon never trips any.
+    assert_eq!(report.overloaded_total, 0);
+    assert_eq!(report.idle_reaped_total, 0);
+    assert_eq!(report.deadline_evicted_total, 0);
+    assert_eq!(report.recoveries_total, 0);
+    assert_eq!(report.rollbacks_total, 0);
     // Served work: 5 single + 3 batched + 1 contains lookups (the failed
     // query adds 0).
     assert_eq!(report.patterns_total, 9);
@@ -567,5 +579,368 @@ fn tiny_write_budget_backpressure_preserves_order_and_answers() {
             other => panic!("unexpected response {other:?}"),
         }
     }
+    handle.shutdown();
+}
+
+/// Reads one length-prefixed response frame (then EOF) from a raw
+/// socket the server shed at admission. The probe never writes, so the
+/// `Overloaded` frame cannot be destroyed by a reset racing unread
+/// request bytes — the shed count observed here is exact.
+fn read_shed_frame(addr: std::net::SocketAddr) -> Response {
+    let mut s = TcpStream::connect(addr).expect("TCP connect still succeeds");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 256];
+    loop {
+        match s.read(&mut tmp) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&tmp[..n]),
+            Err(e) => panic!("shed connection read failed: {e}"),
+        }
+    }
+    assert!(buf.len() >= 4, "shed connection must carry a frame, got {} bytes", buf.len());
+    let body_len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    assert_eq!(buf.len(), 4 + body_len, "exactly one frame then close");
+    decode_response(&buf[4..]).expect("well-formed response frame")
+}
+
+/// The admission bound sheds excess connections with a retryable
+/// `Overloaded` frame while every admitted connection keeps answering
+/// bit-identically, and `overloaded_total` reconciles exactly with the
+/// observed sheds — on both cores.
+#[test]
+fn admission_bound_sheds_overloaded_and_healthy_conns_stay_correct() {
+    let gen = synthetic(11.0);
+    let probe: Vec<Vec<u8>> = (0..50u8)
+        .map(|i| vec![b'a' + (i % 4), b'a' + ((i / 4) % 4), b'a' + ((i / 16) % 4)])
+        .collect();
+    let refs: Vec<&[u8]> = probe.iter().map(|p| p.as_slice()).collect();
+    let expect: Vec<u64> = gen.query_batch(&refs).iter().map(|v| v.to_bits()).collect();
+
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig { core, workers: 2, max_conns: 2, ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+
+        // Fill the admission bound and prove both slots are live.
+        let mut healthy: Vec<Client> =
+            (0..2).map(|_| Client::connect(handle.addr()).expect("admitted connection")).collect();
+        for c in healthy.iter_mut() {
+            c.query(0, b"aaa").expect("admitted connection answers");
+        }
+
+        // Five raw probes: each shed at accept with a typed frame.
+        for i in 0..5 {
+            let resp = read_shed_frame(handle.addr());
+            assert!(
+                matches!(resp, Response::Overloaded),
+                "shed {i} got {resp:?} instead of Overloaded ({core:?})"
+            );
+        }
+        // The typed client surfaces the shed as the retryable error (the
+        // reset race can also surface as Io; both are retryable).
+        let mut extra = Client::connect(handle.addr()).expect("TCP connect succeeds");
+        let err = extra.query(0, b"aaa").expect_err("6th conn is shed");
+        assert!(
+            matches!(err, ClientError::Overloaded | ClientError::Io(_)),
+            "got: {err} ({core:?})"
+        );
+        drop(extra);
+
+        // Healthy connections never noticed: answers stay bit-identical,
+        // and the counter reconciles with exactly 6 observed sheds.
+        for c in healthy.iter_mut() {
+            let served: Vec<u64> =
+                c.query_batch(0, &refs).unwrap().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(served, expect, "healthy conn degraded under overload ({core:?})");
+        }
+        let report = healthy[0].metrics().expect("metrics");
+        assert_eq!(report.overloaded_total, 6, "shed count reconciles ({core:?})");
+        assert_eq!(report.conns_open, 2, "only admitted conns counted ({core:?})");
+
+        // Freeing a slot lets a retrying client in.
+        drop(healthy.pop());
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        let mut late = Client::connect(handle.addr()).expect("TCP connect succeeds");
+        let v =
+            late.query_with_retry(0, &probe[7], &policy).expect("retry admits once capacity frees");
+        assert_eq!(v.to_bits(), gen.query(&probe[7]).to_bits(), "({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// A slow-loris connection (partial frame, then silence) is evicted at
+/// the read deadline while a healthy connection keeps answering, and
+/// `deadline_evicted_total` reconciles exactly — on both cores.
+#[test]
+fn slow_loris_is_evicted_while_healthy_conns_keep_answering() {
+    let gen = synthetic(12.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig {
+            core,
+            workers: 3,
+            read_deadline: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+
+        // The loris: two bytes of a frame header, then nothing.
+        let mut loris = TcpStream::connect(handle.addr()).expect("loris connects");
+        loris.write_all(b"DP").expect("partial frame sent");
+
+        // Healthy traffic throughout the loris's stall window.
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(800) {
+            let v = client.query(0, b"abc").expect("healthy conn keeps answering");
+            assert_eq!(v.to_bits(), gen.query(b"abc").to_bits(), "({core:?})");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+
+        // The loris must be gone: its socket reads EOF (or a reset).
+        loris.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut one = [0u8; 16];
+        match loris.read(&mut one) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("loris read {n} unexpected bytes ({core:?})"),
+        }
+        let report = client.metrics().expect("metrics");
+        assert_eq!(report.deadline_evicted_total, 1, "exactly the loris evicted ({core:?})");
+        assert_eq!(report.idle_reaped_total, 0, "no idle reaping configured ({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// Idle connections are reaped at `idle_timeout` while connections with
+/// in-window traffic survive, and `idle_reaped_total` reconciles — on
+/// both cores.
+#[test]
+fn idle_connections_are_reaped_but_active_ones_survive() {
+    let gen = synthetic(13.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig {
+            core,
+            workers: 3,
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+
+        let mut idle = Client::connect(handle.addr()).expect("idle client connects");
+        idle.query(0, b"abc").expect("one query, then silence");
+        let mut active = Client::connect(handle.addr()).expect("active client connects");
+
+        // 600 ms of in-window traffic from the active client; the idle
+        // one stays quiet well past the timeout.
+        for _ in 0..12 {
+            active.query(0, b"abc").expect("in-window traffic survives");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+
+        let err = idle.query(0, b"abc").expect_err("idle conn was reaped");
+        assert!(matches!(err, ClientError::Io(_)), "got: {err} ({core:?})");
+        let report = active.metrics().expect("metrics");
+        assert_eq!(report.idle_reaped_total, 1, "exactly the idle conn reaped ({core:?})");
+        assert_eq!(report.deadline_evicted_total, 0, "no deadline configured ({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// A `StoreIo` whose payload write blocks on a condvar gate, so a test
+/// can hold an install mid-persist and prove the rest of the daemon
+/// keeps serving.
+#[derive(Debug)]
+struct GatedIo {
+    inner: RealIo,
+    gate: Arc<(Mutex<(bool, bool)>, Condvar)>, // (blocked, entered)
+}
+
+impl StoreIo for GatedIo {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let (lock, cv) = &*self.gate;
+        let mut st = lock.lock().unwrap();
+        st.1 = true;
+        cv.notify_all();
+        while st.0 {
+            st = cv.wait(st).unwrap();
+        }
+        drop(st);
+        self.inner.write_file(path, bytes)
+    }
+    fn append_file(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        self.inner.append_file(path, bytes)
+    }
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.sync_file(path)
+    }
+    fn sync_dir(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.sync_dir(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        self.inner.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> std::io::Result<()> {
+        self.inner.remove_file(path)
+    }
+    fn read_file(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        self.inner.read_file(path)
+    }
+    fn list_dir(&self, path: &Path) -> std::io::Result<Vec<PathBuf>> {
+        self.inner.list_dir(path)
+    }
+}
+
+/// The satellite regression: a `LoadSnapshot` stuck deep inside persist
+/// must not stall other connections' queries. On the readiness core the
+/// install runs off the event-loop thread; on the thread-pool core it
+/// pins only its own worker. Queries from a second connection answer
+/// within a strict timeout for the whole time the install is held, and
+/// the install completes once released.
+#[test]
+fn queries_stay_responsive_while_an_install_is_stuck_in_persist() {
+    let old_gen = synthetic(5.0);
+    let new_gen = synthetic(99.0);
+    let new_bytes = new_gen.to_bytes();
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let dir = std::env::temp_dir()
+            .join(format!("dpsc-gated-install-{}-{core:?}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let gate = Arc::new((Mutex::new((true, false)), Condvar::new()));
+        let store = dp_substring_counting::serve::SnapshotStore::open_with(
+            &dir,
+            4,
+            Box::new(GatedIo { inner: RealIo, gate: Arc::clone(&gate) }),
+        )
+        .expect("fresh store opens without touching the gate");
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, old_gen.clone(), 0);
+        let config = ServerConfig {
+            core,
+            workers: 3,
+            store: Some(Arc::new(store)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let addr = handle.addr();
+
+        let install_bytes = new_bytes.clone();
+        let installer = std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("installer connects");
+            c.load_snapshot(1, &install_bytes)
+        });
+
+        // Wait until the install is provably stuck inside the persist.
+        {
+            let (lock, cv) = &*gate;
+            let mut st = lock.lock().unwrap();
+            while !st.1 {
+                let (next, timeout) = cv.wait_timeout(st, Duration::from_secs(10)).unwrap();
+                st = next;
+                assert!(!timeout.timed_out(), "install never reached the store ({core:?})");
+            }
+        }
+
+        // While held: a second connection's queries answer promptly and
+        // bit-identically to the resident epoch.
+        let mut client = Client::connect_with(
+            addr,
+            ClientConfig { io_timeout: Some(Duration::from_secs(2)), ..ClientConfig::default() },
+        )
+        .expect("query client connects");
+        for _ in 0..10 {
+            let v = client.query(0, b"abc").expect("queries must not stall behind a stuck install");
+            assert_eq!(v.to_bits(), old_gen.query(b"abc").to_bits(), "({core:?})");
+        }
+
+        // Release the gate: the install completes with a durable epoch.
+        {
+            let (lock, cv) = &*gate;
+            lock.lock().unwrap().0 = false;
+            cv.notify_all();
+        }
+        let epoch =
+            installer.join().expect("installer thread lives").expect("released install succeeds");
+        assert_eq!(epoch, 1, "first durable epoch ({core:?})");
+        let v = client.query(1, b"abc").expect("new shard serves");
+        assert_eq!(v.to_bits(), new_gen.query(b"abc").to_bits(), "({core:?})");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `ClientConfig::io_timeout` bounds calls against a server that accepts
+/// and then never responds — the call errors instead of hanging forever.
+#[test]
+fn client_io_timeout_fires_on_a_silent_socket() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("silent listener binds");
+    let addr = listener.local_addr().unwrap();
+    let silent = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accepts");
+        // Read (and discard) whatever arrives, never answer; exit on EOF.
+        let mut buf = [0u8; 4096];
+        while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+    });
+
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_secs(2)),
+        io_timeout: Some(Duration::from_millis(200)),
+    };
+    let mut client = Client::connect_with(addr, config).expect("connects");
+    let start = Instant::now();
+    let err = client.query(0, b"abc").expect_err("silent server must not hang the client");
+    match &err {
+        ClientError::Io(e) => assert!(
+            matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock),
+            "got io error kind {:?}",
+            e.kind()
+        ),
+        other => panic!("expected Io timeout, got {other}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(3), "timeout fired late");
+    drop(client);
+    silent.join().unwrap();
+}
+
+/// `call_with_retry` reconnects after `Overloaded` sheds and lands the
+/// correct answer once capacity frees up — the client-side half of the
+/// overload contract.
+#[test]
+fn retry_policy_reconnects_after_overload_and_answers_correctly() {
+    let gen = synthetic(21.0);
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, gen.clone(), 0);
+    let config = ServerConfig { max_conns: 1, ..ServerConfig::default() };
+    let handle = Server::spawn(config, manager).expect("daemon binds");
+    let addr = handle.addr();
+
+    // One hog holds the only slot.
+    let mut hog = Client::connect(addr).expect("hog connects");
+    hog.query(0, b"aaa").expect("hog is admitted");
+
+    let worker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("TCP connect succeeds even when shed");
+        let policy = RetryPolicy {
+            max_retries: 12,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        c.query_with_retry(0, b"bbb", &policy)
+    });
+
+    std::thread::sleep(Duration::from_millis(250));
+    drop(hog); // capacity frees mid-retry
+    let v = worker.join().expect("retry thread lives").expect("retry succeeds once the slot frees");
+    assert_eq!(v.to_bits(), gen.query(b"bbb").to_bits(), "retried answer is bit-identical");
     handle.shutdown();
 }

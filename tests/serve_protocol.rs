@@ -36,6 +36,7 @@ fn real_requests() -> Vec<Request> {
         Request::Contains { shard: 2, pattern: patterns[1].clone() },
         Request::Stats,
         Request::LoadSnapshot { shard: 3, snapshot: snapshot.into() },
+        Request::Rollback { shard: 3, epoch: 0xDEAD_BEEF_u64 },
         Request::Shutdown,
     ]
 }
@@ -77,6 +78,8 @@ fn real_responses() -> Vec<Response> {
             ],
         }),
         Response::LoadSnapshot { epoch: 8, node_count: 12345 },
+        Response::Rollback { epoch: 9 },
+        Response::Overloaded,
         Response::Shutdown,
         Response::Error { message: "snapshot rejected: checksum mismatch".to_string() },
     ]
