@@ -390,7 +390,123 @@ pub fn run_matrix(cfg: &AuditConfig) -> ConformanceReport {
         }
     }
 
+    // ── Layer 4: observability-surface privacy cleanliness. ────────────
+    scenarios.push(audit_observability_surfaces());
+
     ConformanceReport { tier: cfg.tier.name().to_string(), seed: cfg.seed, scenarios }
+}
+
+/// Counts the occurrences of `needle` anywhere in `hay`.
+fn count_occurrences(hay: &[u8], needle: &[u8]) -> usize {
+    if needle.is_empty() || hay.len() < needle.len() {
+        return 0;
+    }
+    hay.windows(needle.len()).filter(|w| *w == needle).count()
+}
+
+/// The observability layer's privacy contract, audited end to end: a live
+/// daemon with tracing and the slow-op log enabled serves distinctive
+/// canary patterns, and none of its observability surfaces — the wire-
+/// encoded trace events, the slow-op entries inside them, or the text
+/// exposition — may contain a single raw pattern byte. The surfaces carry
+/// FNV fingerprints and lengths only, and the audit also proves each
+/// canary is *findable* by fingerprint, so the leak checks are not
+/// vacuously green on an empty trace.
+fn audit_observability_surfaces() -> ScenarioResult {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use dpsc_private_count::codec::fnv1a;
+    use dpsc_serve::wire::encode_response;
+    use dpsc_serve::{Client, Response, Server, ServerConfig, ShardManager, TraceKind};
+
+    // A deterministic small release to serve; the corpus content is
+    // irrelevant — the canaries below are what must not leak.
+    let mut rng = StdRng::seed_from_u64(0x0B5E_7EA1);
+    let db = markov_corpus(24, 12, 4, 0.6, &mut rng);
+    let idx = CorpusIndex::build(&db);
+    let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e4), 0.1)
+        .with_thresholds(1.5, 1.5);
+    let frozen = build_pure(&idx, &params, &mut rng).expect("audit release builds").freeze();
+    let epsilon = frozen.privacy().epsilon;
+
+    const CANARIES: [&[u8]; 3] = [b"CANARY-ALPHA-0001", b"CANARY-BRAVO-0002", b"CANARY-CHARLIE-3"];
+
+    let manager = Arc::new(ShardManager::new());
+    manager.install(0, frozen, 0);
+    let config = ServerConfig {
+        workers: 2,
+        slow_op_threshold: Some(Duration::from_nanos(1)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::spawn(config, manager).expect("audit daemon binds");
+    let mut client = Client::connect(handle.addr()).expect("audit client connects");
+    for canary in CANARIES {
+        client.query(0, canary).expect("canary query answered");
+    }
+    let events = client.trace(1024).expect("trace drains");
+    let text = client.metrics_text().expect("exposition answered");
+    handle.shutdown();
+
+    // Surface 1: the trace ring, exactly as it crosses the wire.
+    let trace_bytes = encode_response(&Response::Trace { events: events.clone() });
+    let trace_leaks: usize = CANARIES.iter().map(|c| count_occurrences(&trace_bytes, c)).sum();
+    let frame_fps: Vec<u64> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::FrameAnswered)
+        .map(|e| e.fingerprint)
+        .collect();
+    let frames_found = CANARIES.iter().filter(|c| frame_fps.contains(&fnv1a(c))).count();
+
+    // Surface 2: the slow-op log (every op is slow at a 1 ns threshold).
+    let slow_fps: Vec<u64> =
+        events.iter().filter(|e| e.kind == TraceKind::SlowOp).map(|e| e.fingerprint).collect();
+    let slow_found = CANARIES.iter().filter(|c| slow_fps.contains(&fnv1a(c))).count();
+
+    // Surface 3: the Prometheus-style text exposition.
+    let expo_leaks: usize = CANARIES.iter().map(|c| count_occurrences(text.as_bytes(), c)).sum();
+
+    let n = CANARIES.len();
+    ScenarioResult {
+        workload: "serve-trace".to_string(),
+        mechanism: "laplace".to_string(),
+        epsilon,
+        pruning: "-".to_string(),
+        checks: vec![
+            CheckResult::new(
+                "trace_marker_fingerprints",
+                frames_found as f64,
+                n as f64,
+                frames_found == n,
+                "every canary query is findable in the trace by FNV fingerprint".to_string(),
+            ),
+            CheckResult::new(
+                "trace_pattern_leak_bytes",
+                trace_leaks as f64,
+                0.0,
+                trace_leaks == 0,
+                format!(
+                    "canary byte occurrences in {} wire-encoded trace bytes",
+                    trace_bytes.len()
+                ),
+            ),
+            CheckResult::new(
+                "slow_op_marker_fingerprints",
+                slow_found as f64,
+                n as f64,
+                slow_found == n,
+                "slow-op entries identify patterns by fingerprint, never content".to_string(),
+            ),
+            CheckResult::new(
+                "exposition_pattern_leak_bytes",
+                expo_leaks as f64,
+                0.0,
+                expo_leaks == 0 && text.contains("dpsc_slow_ops_total"),
+                "canary byte occurrences in the text exposition (and the exposition is live)"
+                    .to_string(),
+            ),
+        ],
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ use dpsc_dpcore::budget::PrivacyParams;
 use dpsc_dpcore::stream::derive_stream as derive_seed;
 use dpsc_private_count::candidates::{build_candidates_pure, CandidateParams};
 use dpsc_private_count::pipeline::{build_count_trie, run_pipeline_on_trie, PipelineParams};
-use dpsc_private_count::{build_pure, BuildParams, CountMode, FrozenSynopsis};
+use dpsc_private_count::{build_pure_traced, BuildParams, CountMode, FrozenSynopsis, SpanRecorder};
 use dpsc_textindex::CorpusIndex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,6 +131,13 @@ struct PhaseTimes {
     step2_ns: u128,
     steps3_6_ns: u128,
     end_to_end_ns: u128,
+    /// In-pipeline span durations from the `SpanRecorder` the traced
+    /// end-to-end build carries — the same phase vocabulary the serve
+    /// trace ring uses (`candidates`/`count_trie`/`noise`/`prune`).
+    span_candidates_ns: u128,
+    span_count_trie_ns: u128,
+    span_noise_ns: u128,
+    span_prune_ns: u128,
 }
 
 struct ScenarioResult {
@@ -200,9 +207,16 @@ fn run_once(
         .with_thresholds(tau, f64::NEG_INFINITY)
         .with_threads(threads);
     let mut rng = StdRng::seed_from_u64(seed);
+    let rec = SpanRecorder::new();
     let t0 = Instant::now();
-    let built = build_pure(idx, &params, &mut rng).expect("same seed as the phase run");
+    let built =
+        build_pure_traced(idx, &params, &mut rng, &rec).expect("same seed as the phase run");
     t.end_to_end_ns = t0.elapsed().as_nanos();
+    let span = |name: &str| rec.dur_ns(name).unwrap_or(0) as u128;
+    t.span_candidates_ns = span("candidates");
+    t.span_count_trie_ns = span("count_trie");
+    t.span_noise_ns = span("noise");
+    t.span_prune_ns = span("prune");
     let digest = fnv1a(&FrozenSynopsis::freeze(&built).to_bytes());
 
     (t, cands.strings.len(), cands.level_sizes, trie.len(), out.trie.len(), digest)
@@ -258,6 +272,10 @@ fn run_scenario(sc: &Scenario, sc_idx: u64, repeats: usize) -> ScenarioResult {
             best.step2_ns = keep(best.step2_ns, t.step2_ns);
             best.steps3_6_ns = keep(best.steps3_6_ns, t.steps3_6_ns);
             best.end_to_end_ns = keep(best.end_to_end_ns, t.end_to_end_ns);
+            best.span_candidates_ns = keep(best.span_candidates_ns, t.span_candidates_ns);
+            best.span_count_trie_ns = keep(best.span_count_trie_ns, t.span_count_trie_ns);
+            best.span_noise_ns = keep(best.span_noise_ns, t.span_noise_ns);
+            best.span_prune_ns = keep(best.span_prune_ns, t.span_prune_ns);
         }
         result.times.push(best);
     }
@@ -308,12 +326,17 @@ fn to_json(results: &[ScenarioResult], tier: &str, repeats: usize) -> String {
         for (j, (&threads, t)) in THREADS.iter().zip(&r.times).enumerate() {
             out.push_str(&format!(
                 "        {{\"threads\": {}, \"step1_ns\": {}, \"step2_ns\": {}, \
-                 \"steps3_6_ns\": {}, \"end_to_end_ns\": {}}}{}\n",
+                 \"steps3_6_ns\": {}, \"end_to_end_ns\": {}, \"span_candidates_ns\": {}, \
+                 \"span_count_trie_ns\": {}, \"span_noise_ns\": {}, \"span_prune_ns\": {}}}{}\n",
                 threads,
                 t.step1_ns,
                 t.step2_ns,
                 t.steps3_6_ns,
                 t.end_to_end_ns,
+                t.span_candidates_ns,
+                t.span_count_trie_ns,
+                t.span_noise_ns,
+                t.span_prune_ns,
                 if j + 1 < r.times.len() { "," } else { "" }
             ));
         }
@@ -355,6 +378,7 @@ pub fn build_throughput() -> Table {
             "step2 ms",
             "steps3-6 ms",
             "end-to-end ms",
+            "spans cand/trie/noise/prune ms",
             "peak nodes",
         ],
     );
@@ -368,6 +392,13 @@ pub fn build_throughput() -> Table {
                 ms(times.step2_ns),
                 ms(times.steps3_6_ns),
                 ms(times.end_to_end_ns),
+                format!(
+                    "{}/{}/{}/{}",
+                    ms(times.span_candidates_ns),
+                    ms(times.span_count_trie_ns),
+                    ms(times.span_noise_ns),
+                    ms(times.span_prune_ns)
+                ),
                 r.peak_trie_nodes.to_string(),
             ]);
         }

@@ -749,6 +749,57 @@ fn robustness_scenario(shards: &[BuiltShard]) -> RobustnessResult {
     }
 }
 
+/// The instrumentation-overhead comparison: the same pipelined replay
+/// against a daemon with full observability (trace ring + slow-op log)
+/// and against one stripped to bare counters (`trace_capacity = 0`).
+/// CI gates `overhead_frac` at ≤ 5%: observability must stay effectively
+/// free at serving speed.
+struct OverheadResult {
+    instrumented_qps: f64,
+    counters_only_qps: f64,
+    /// `1 − instrumented/counters_only` (negative = noise in favour of
+    /// the instrumented run).
+    overhead_frac: f64,
+}
+
+/// Measures [`OverheadResult`]: best-of-3 pipelined replays per config,
+/// shards installed in-process (identical bits to the wire-shipped ones,
+/// so the replay's differential check still holds).
+fn overhead_scenario(
+    shards: &[BuiltShard],
+    workloads: &[ConnWorkload],
+    workers: usize,
+) -> OverheadResult {
+    let run = |observability: bool| -> f64 {
+        let manager = Arc::new(ShardManager::new());
+        for s in shards {
+            manager.install(s.spec.shard_id, s.frozen.clone(), s.bytes_v2.len());
+        }
+        let config = ServerConfig {
+            workers,
+            trace_capacity: if observability { 1024 } else { 0 },
+            slow_op_threshold: observability.then(|| Duration::from_millis(50)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("overhead daemon binds");
+        let mut best = 0.0f64;
+        for _ in 0..3 {
+            best = best.max(replay(handle.addr(), workloads, BURST).qps);
+        }
+        handle.shutdown();
+        best
+    };
+    let counters_only_qps = run(false);
+    let instrumented_qps = run(true);
+    let overhead_frac = 1.0 - instrumented_qps / counters_only_qps;
+    eprintln!(
+        "[serve_throughput] instrumentation overhead: {instrumented_qps:.0} qps instrumented \
+         vs {counters_only_qps:.0} qps counters-only ({:+.2}%)",
+        overhead_frac * 100.0
+    );
+    OverheadResult { instrumented_qps, counters_only_qps, overhead_frac }
+}
+
 struct RunResult {
     connections: usize,
     requests_per_conn: usize,
@@ -767,7 +818,18 @@ struct RunResult {
     generator_patterns_total: u64,
     metrics_p50_ns: f64,
     metrics_p99_ns: f64,
+    /// Per-op percentiles for the op the load is made of, from the
+    /// daemon's dedicated `QueryBatch` histogram.
+    metrics_op_qb_p50_ns: f64,
+    metrics_op_qb_p99_ns: f64,
+    /// Event-loop utilization split (readiness core): time inside
+    /// `epoll_wait` vs time servicing readiness events.
+    loop_wait_ns: u64,
+    loop_busy_ns: u64,
+    loop_utilization: f64,
+    trace_events_total: u64,
     robustness: RobustnessResult,
+    overhead: OverheadResult,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -806,7 +868,11 @@ fn to_json(
          conn_sweep points hold every socket open simultaneously (barrier-enforced); \
          their digests are deterministic, qps fields are not. metrics.patterns_total is \
          the daemon's own counter, asserted equal to generator_patterns_total at \
-         runtime.\",\n",
+         runtime. metrics.op_query_batch_* comes from the daemon's per-op histogram, \
+         loop_* from the readiness event loop (zero on the thread-pool core). overhead \
+         compares the same pipelined replay against a daemon with full observability \
+         (default) vs trace_capacity = 0 bare counters; CI gates overhead_frac at \
+         0.05.\",\n",
     );
     out.push_str("  \"shards\": [\n");
     for (i, (s, (&(fast_ns, naive_ns), &(cold_ns, cold_v2_ns)))) in
@@ -884,9 +950,25 @@ fn to_json(
         run.metrics_patterns_total, run.generator_patterns_total
     ));
     out.push_str(&format!(
-        "    \"latency_p50_ns\": {:.0},\n    \"latency_p99_ns\": {:.0}\n",
+        "    \"latency_p50_ns\": {:.0},\n    \"latency_p99_ns\": {:.0},\n",
         run.metrics_p50_ns, run.metrics_p99_ns
     ));
+    out.push_str(&format!(
+        "    \"op_query_batch_p50_ns\": {:.0},\n    \"op_query_batch_p99_ns\": {:.0},\n",
+        run.metrics_op_qb_p50_ns, run.metrics_op_qb_p99_ns
+    ));
+    out.push_str(&format!(
+        "    \"loop_wait_ns\": {},\n    \"loop_busy_ns\": {},\n    \"loop_utilization\": {:.6},\n",
+        run.loop_wait_ns, run.loop_busy_ns, run.loop_utilization
+    ));
+    out.push_str(&format!("    \"trace_events_total\": {}\n", run.trace_events_total));
+    out.push_str("  },\n");
+    out.push_str("  \"overhead\": {\n");
+    out.push_str(&format!(
+        "    \"instrumented_qps\": {:.0},\n    \"counters_only_qps\": {:.0},\n",
+        run.overhead.instrumented_qps, run.overhead.counters_only_qps
+    ));
+    out.push_str(&format!("    \"overhead_frac\": {:.6}\n", run.overhead.overhead_frac));
     out.push_str("  },\n");
     let r = &run.robustness;
     out.push_str("  \"durability\": {\n");
@@ -1026,10 +1108,18 @@ pub fn serve_throughput() -> Table {
         "daemon metrics lost or invented pattern lookups"
     );
     assert_eq!(report.ops.errors, 0, "load run must not produce error responses");
+    // Observability is on by default (trace ring + per-op histograms), so
+    // the load must have left visible traces: the dedicated QueryBatch
+    // histogram and the event stream both have to be populated.
+    assert!(report.op_latency.query_batch.p99_ns > 0.0, "QueryBatch histogram must be live");
+    assert!(report.trace_events_total > 0, "trace ring must have recorded the load");
     handle.shutdown();
 
     // ---- Robustness: overload, eviction, rollback, crash-restart ----------
     let robustness = robustness_scenario(&shards);
+
+    // ---- Instrumentation overhead: full observability vs bare counters ----
+    let overhead = overhead_scenario(&shards, &workloads, workers);
 
     let run = RunResult {
         connections,
@@ -1047,7 +1137,14 @@ pub fn serve_throughput() -> Table {
         generator_patterns_total,
         metrics_p50_ns: report.latency_p50_ns,
         metrics_p99_ns: report.latency_p99_ns,
+        metrics_op_qb_p50_ns: report.op_latency.query_batch.p50_ns,
+        metrics_op_qb_p99_ns: report.op_latency.query_batch.p99_ns,
+        loop_wait_ns: report.loop_wait_ns,
+        loop_busy_ns: report.loop_busy_ns,
+        loop_utilization: report.loop_utilization,
+        trace_events_total: report.trace_events_total,
         robustness,
+        overhead,
     };
 
     std::fs::create_dir_all("results").ok();
@@ -1090,6 +1187,22 @@ pub fn serve_throughput() -> Table {
             "-".to_string(),
         ]);
     }
+    // The instrumentation-overhead pair: same pipelined replay, full
+    // observability vs bare counters. CI gates the gap at ≤ 5%.
+    for (name, qps) in [
+        ("overhead/instrumented", run.overhead.instrumented_qps),
+        ("overhead/counters_only", run.overhead.counters_only_qps),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            connections.to_string(),
+            total_queries.to_string(),
+            format!("{:.0}", qps),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
     t.note(format!(
         "tier = {tier}, repeats = {repeats} (best kept), {workers} server workers, batch = \
          {batch} patterns/request, pipelined bursts of {BURST} requests. Zipf(s = {ZIPF_S}) \
@@ -1110,6 +1223,19 @@ pub fn serve_throughput() -> Table {
         run.generator_patterns_total,
         run.metrics_p50_ns,
         run.metrics_p99_ns
+    ));
+    t.note(format!(
+        "observability (on by default): QueryBatch op histogram p50 {:.0} ns / p99 {:.0} ns, \
+         event-loop utilization {:.1}% ({} trace events recorded); instrumentation overhead \
+         vs a counters-only daemon: {:.0} qps instrumented vs {:.0} qps bare ({:+.2}%, CI \
+         gate ≤ 5%).",
+        run.metrics_op_qb_p50_ns,
+        run.metrics_op_qb_p99_ns,
+        run.loop_utilization * 100.0,
+        run.trace_events_total,
+        run.overhead.instrumented_qps,
+        run.overhead.counters_only_qps,
+        run.overhead.overhead_frac * 100.0
     ));
     t.note(format!(
         "robustness: {} admission sheds, {} deadline eviction, {} idle reap and {} rollback \

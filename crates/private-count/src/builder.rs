@@ -13,7 +13,8 @@ use rand::Rng;
 use crate::candidates::{
     build_candidates_approx, build_candidates_pure, CandidateOverflow, CandidateParams,
 };
-use crate::pipeline::{run_pipeline, PipelineParams};
+use crate::pipeline::{run_pipeline_traced, PipelineParams};
+use crate::spans::SpanRecorder;
 use crate::structure::{CountMode, PrivateCountStructure};
 
 /// Parameters for building a private counting structure.
@@ -97,7 +98,21 @@ pub fn build_pure<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<PrivateCountStructure, BuildError> {
     assert!(params.privacy.is_pure(), "Theorem 1 is pure DP; use build_approx for δ > 0");
-    build_impl(idx, params, false, rng)
+    build_impl(idx, params, false, rng, None)
+}
+
+/// [`build_pure`] with per-phase wall-clock spans (`"candidates"`,
+/// `"count_trie"`, `"noise"`, `"prune"`) recorded into `rec`. Pure
+/// observation: given the same RNG state the released structure is
+/// bit-identical to [`build_pure`]'s.
+pub fn build_pure_traced<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    params: &BuildParams,
+    rng: &mut R,
+    rec: &SpanRecorder,
+) -> Result<PrivateCountStructure, BuildError> {
+    assert!(params.privacy.is_pure(), "Theorem 1 is pure DP; use build_approx for δ > 0");
+    build_impl(idx, params, false, rng, Some(rec))
 }
 
 /// Theorem 2: (ε,δ)-differentially private structure for `count_Δ` with
@@ -108,7 +123,7 @@ pub fn build_approx<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<PrivateCountStructure, BuildError> {
     assert!(params.privacy.delta > 0.0, "Theorem 2 requires δ > 0; use build_pure for δ = 0");
-    build_impl(idx, params, true, rng)
+    build_impl(idx, params, true, rng, None)
 }
 
 fn build_impl<R: Rng + ?Sized>(
@@ -116,6 +131,7 @@ fn build_impl<R: Rng + ?Sized>(
     params: &BuildParams,
     gaussian: bool,
     rng: &mut R,
+    rec: Option<&SpanRecorder>,
 ) -> Result<PrivateCountStructure, BuildError> {
     let ell = idx.max_len();
     let delta_clip = params.mode.delta_clip(ell);
@@ -132,12 +148,16 @@ fn build_impl<R: Rng + ?Sized>(
         level_cap_override: params.level_cap_override,
         threads: params.threads,
     };
+    let cand_started = rec.map(|r| r.mark());
     let candidates = if gaussian {
         build_candidates_approx(idx, &cand_params, rng)
     } else {
         build_candidates_pure(idx, &cand_params, rng)
     }
     .map_err(BuildError::CandidateOverflow)?;
+    if let (Some(r), Some(s)) = (rec, cand_started) {
+        r.close("candidates", s, candidates.strings.len() as u64);
+    }
     accountant.charge(third).expect("step 1 within budget");
 
     // Steps 2–6: trie pipeline (ε/3 for roots, ε/3 for prefix sums,
@@ -151,7 +171,7 @@ fn build_impl<R: Rng + ?Sized>(
         prune_override: params.prune_override,
         threads: params.threads,
     };
-    let out = run_pipeline(idx, &candidates.strings, &pipe_params, rng);
+    let out = run_pipeline_traced(idx, &candidates.strings, &pipe_params, rng, rec);
     accountant.charge(third).expect("step 3 within budget");
     accountant.charge(third).expect("step 4 within budget");
 
@@ -246,6 +266,26 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 0, "structure should be non-trivial");
+    }
+
+    #[test]
+    fn traced_build_is_bit_identical_and_records_phases() {
+        let db = Database::paper_example();
+        let idx = CorpusIndex::build(&db);
+        let params = BuildParams::new(CountMode::Substring, PrivacyParams::pure(1e9), 0.1)
+            .with_thresholds(0.9, 0.5);
+        let mut rng = StdRng::seed_from_u64(77);
+        let plain = build_pure(&idx, &params, &mut rng).unwrap();
+        let rec = SpanRecorder::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let traced = build_pure_traced(&idx, &params, &mut rng, &rec).unwrap();
+        assert_eq!(plain.trie().len(), traced.trie().len());
+        for pat in [b"ab".as_slice(), b"ba", b"absab", b"zz"] {
+            assert_eq!(plain.query(pat), traced.query(pat), "pattern {pat:?}");
+        }
+        let names: Vec<&str> = rec.spans().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["candidates", "count_trie", "noise", "prune"]);
+        assert!(rec.spans().iter().all(|s| s.items > 0), "phase item counts populated");
     }
 
     #[test]

@@ -41,15 +41,17 @@ pub mod mining;
 pub mod pipeline;
 pub mod qgram;
 pub mod qgram_fast;
+pub mod spans;
 pub mod structure;
 pub mod synopsis;
 
 pub use baseline::{build_simple_trie, SimpleTrieParams};
-pub use builder::{build_approx, build_pure, BuildError, BuildParams};
+pub use builder::{build_approx, build_pure, build_pure_traced, BuildError, BuildParams};
 pub use candidates::{CandidateOverflow, CandidateParams, CandidateSet};
 pub use codec::DecodeError;
 pub use mining::{evaluate_mining, frequent_substrings, MiningEvaluation};
 pub use qgram::{build_qgram_pure, QgramParams};
 pub use qgram_fast::{build_qgram_fast, FastQgramParams, PhaseOverflow};
+pub use spans::{PhaseSpan, SpanRecorder};
 pub use structure::{CountMode, PrivateCountStructure};
 pub use synopsis::{FrozenSynopsis, SnapshotCodec};

@@ -22,6 +22,8 @@ use dpsc_dpcore::tree_mechanism::{
 };
 use dpsc_hierarchy::heavy_path::HeavyPathDecomposition;
 use dpsc_hierarchy::tree::Tree;
+
+use crate::spans::SpanRecorder;
 use dpsc_strkit::trie::Trie;
 use dpsc_textindex::CorpusIndex;
 use rand::rngs::StdRng;
@@ -118,10 +120,27 @@ pub fn run_pipeline<R: Rng + ?Sized>(
     params: &PipelineParams,
     rng: &mut R,
 ) -> PipelineOutput {
+    run_pipeline_traced(idx, candidates, params, rng, None)
+}
+
+/// [`run_pipeline`] with optional phase spans (`"count_trie"`, `"noise"`,
+/// `"prune"`) recorded into `rec`. Timing is observation only — the
+/// released structure is identical with or without a recorder.
+pub fn run_pipeline_traced<R: Rng + ?Sized>(
+    idx: &CorpusIndex,
+    candidates: &[Vec<u8>],
+    params: &PipelineParams,
+    rng: &mut R,
+    rec: Option<&SpanRecorder>,
+) -> PipelineOutput {
     let ell = idx.max_len();
     let delta_clip = params.delta_clip.clamp(1, ell);
+    let started = rec.map(|r| r.mark());
     let counts_trie = build_count_trie(idx, candidates, delta_clip);
-    run_pipeline_on_trie(&counts_trie, ell, params, rng)
+    if let (Some(r), Some(s)) = (rec, started) {
+        r.close("count_trie", s, counts_trie.len() as u64);
+    }
+    run_pipeline_on_trie_traced(&counts_trie, ell, params, rng, rec)
 }
 
 /// Steps 3–6 over a prebuilt exact-count trie. Exposed so the experiment
@@ -134,7 +153,20 @@ pub fn run_pipeline_on_trie<R: Rng + ?Sized>(
     params: &PipelineParams,
     rng: &mut R,
 ) -> PipelineOutput {
+    run_pipeline_on_trie_traced(counts_trie, ell, params, rng, None)
+}
+
+/// [`run_pipeline_on_trie`] with optional `"noise"` / `"prune"` phase
+/// spans recorded into `rec`.
+pub fn run_pipeline_on_trie_traced<R: Rng + ?Sized>(
+    counts_trie: &Trie<u64>,
+    ell: usize,
+    params: &PipelineParams,
+    rng: &mut R,
+    rec: Option<&SpanRecorder>,
+) -> PipelineOutput {
     assert!(params.beta > 0.0 && params.beta < 1.0);
+    let noise_started = rec.map(|r| r.mark());
     let delta_clip = params.delta_clip.clamp(1, ell);
     let n_nodes = counts_trie.len();
     let tree = trie_topology(counts_trie);
@@ -281,13 +313,21 @@ pub fn run_pipeline_on_trie<R: Rng + ?Sized>(
         }
     }
 
+    if let (Some(r), Some(s)) = (rec, noise_started) {
+        r.close("noise", s, n_nodes as u64);
+    }
+
     // Step 6: prune subtrees with noisy count below the threshold.
     let alpha = root_error + diff_error;
     let prune_threshold = params.prune_override.unwrap_or(2.0 * alpha);
+    let prune_started = rec.map(|r| r.mark());
     let pruned = counts_trie.prune_map(
         |node, _| noisy[node as usize] >= prune_threshold,
         |node, _| noisy[node as usize],
     );
+    if let (Some(r), Some(s)) = (rec, prune_started) {
+        r.close("prune", s, pruned.len() as u64);
+    }
 
     PipelineOutput { trie: pruned, alpha, prune_threshold, nodes_before_prune: n_nodes }
 }

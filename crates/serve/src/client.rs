@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use dpsc_private_count::codec::DecodeError;
 
+use crate::trace::TraceEvent;
 use crate::wire::{
     decode_response, encode_request, MetricsReport, Request, Response, ServerStats, MAX_FRAME_LEN,
 };
@@ -254,6 +255,8 @@ impl Client {
                 | Request::Contains { .. }
                 | Request::Stats
                 | Request::Metrics
+                | Request::Trace { .. }
+                | Request::MetricsText
         )
     }
 
@@ -344,8 +347,29 @@ impl Client {
     /// percentiles, cache hit rate, and per-shard epoch/size.
     pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
         match self.call(&Request::Metrics)? {
-            Response::Metrics(report) => Ok(report),
+            Response::Metrics(report) => Ok(*report),
             other => fail(other, "Metrics"),
+        }
+    }
+
+    /// Drains up to `max` of the most recent structured trace events
+    /// from the server's trace ring, oldest first. Non-destructive (the
+    /// ring is overwrite-on-wrap, not consume-on-read) and empty when
+    /// the server runs with tracing disabled. Events carry pattern
+    /// fingerprints and lengths only — never pattern bytes.
+    pub fn trace(&mut self, max: u32) -> Result<Vec<TraceEvent>, ClientError> {
+        match self.call(&Request::Trace { max })? {
+            Response::Trace { events } => Ok(events),
+            other => fail(other, "Trace"),
+        }
+    }
+
+    /// The Prometheus-style text exposition of the server's metrics —
+    /// the same numbers as [`Self::metrics`], rendered scrapeable.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::MetricsText)? {
+            Response::MetricsText { text } => Ok(text),
+            other => fail(other, "MetricsText"),
         }
     }
 
@@ -417,6 +441,10 @@ mod tests {
         assert!(Client::is_idempotent(&Request::Contains { shard: 0, pattern: b"a".to_vec() }));
         assert!(Client::is_idempotent(&Request::Stats));
         assert!(Client::is_idempotent(&Request::Metrics));
+        // Trace drains are reads: the ring is overwrite-on-wrap, never
+        // consume-on-read, so replaying a drain cannot lose events.
+        assert!(Client::is_idempotent(&Request::Trace { max: 64 }));
+        assert!(Client::is_idempotent(&Request::MetricsText));
         assert!(!Client::is_idempotent(&Request::LoadSnapshot {
             shard: 0,
             snapshot: Vec::new().into()

@@ -22,8 +22,15 @@
 //!   construction (old epochs become unaddressable) and hits are
 //!   bit-identical to cold walks of the same epoch.
 //! * [`metrics`] — [`MetricsRegistry`](metrics::MetricsRegistry):
-//!   lock-free per-op counters and a fixed-bucket latency histogram,
-//!   snapshotted by the `Metrics` wire op.
+//!   lock-free per-op counters, global/per-op/per-shard fixed-bucket
+//!   latency histograms, event-loop utilization, and a slow-op log,
+//!   snapshotted by the `Metrics` wire op and rendered as a
+//!   Prometheus-style text exposition by `MetricsText`.
+//! * [`trace`] — [`TraceRing`](trace::TraceRing): a bounded lock-free
+//!   ring of structured [`TraceEvent`](trace::TraceEvent)s (connection
+//!   lifecycle, frame service, snapshot-store crash points, overload
+//!   decisions), drained over the wire by the `Trace` op. Events carry
+//!   pattern fingerprints and lengths only — never pattern bytes.
 //! * [`store`] — [`SnapshotStore`]: the crash-safe on-disk snapshot
 //!   store (write-temp → fsync → rename → fsync(dir) under a
 //!   checksummed append-only `MANIFEST`), with epoch retention, the
@@ -61,16 +68,19 @@ pub mod poll;
 pub mod server;
 pub mod shard;
 pub mod store;
+pub mod trace;
 pub mod wire;
 
 pub use cache::QueryCache;
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
-pub use metrics::MetricsRegistry;
+pub use metrics::{render_prometheus, MetricsRegistry, OpKind, OpObservation};
 pub use server::{CoreKind, Server, ServerConfig, ServerHandle, ShutdownPolicy};
 pub use shard::{ShardManager, ShardSnapshot};
 pub use store::{
     FaultPlan, FaultyIo, RealIo, RecoveredSnapshot, SnapshotStore, StoreError, StoreIo,
 };
+pub use trace::{TraceEvent, TraceKind, TraceRing, NO_SHARD};
 pub use wire::{
-    CacheStats, MetricsReport, MetricsShard, OpCounts, Request, Response, ServerStats, ShardStats,
+    CacheStats, MetricsReport, MetricsShard, OpCounts, OpLatencies, OpLatency, Request, Response,
+    ServerStats, ShardStats,
 };

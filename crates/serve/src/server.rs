@@ -63,12 +63,14 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dpsc_private_count::codec::fnv1a;
 use dpsc_private_count::FrozenSynopsis;
 
 use crate::cache::QueryCache;
-use crate::metrics::{MetricsRegistry, OpKind};
+use crate::metrics::{render_prometheus, MetricsRegistry, OpKind, OpObservation};
 use crate::shard::{ShardManager, ShardSnapshot};
 use crate::store::SnapshotStore;
+use crate::trace::{TraceEvent, TraceKind};
 use crate::wire::{
     decode_request, encode_response, frame_len, CacheStats, Request, Response, ServerStats,
 };
@@ -179,6 +181,15 @@ pub struct ServerConfig {
     /// pending output before being reaped. `None` (the default)
     /// disables reaping.
     pub idle_timeout: Option<Duration>,
+    /// Capacity of the structured trace ring (rounded up to a power of
+    /// two; 0 disables tracing entirely — the emit sites reduce to one
+    /// branch, the counters-only mode the overhead benchmark measures).
+    /// Drained over the wire by the `Trace` op.
+    pub trace_capacity: usize,
+    /// Answers slower than this are counted and logged to the trace
+    /// ring as `slow_op` events (fingerprint + latency, never pattern
+    /// bytes). `None` (the default) disables the slow-op log.
+    pub slow_op_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -196,6 +207,8 @@ impl Default for ServerConfig {
             max_conns: usize::MAX,
             read_deadline: None,
             idle_timeout: None,
+            trace_capacity: 1024,
+            slow_op_threshold: None,
         }
     }
 }
@@ -334,7 +347,9 @@ impl Server {
     pub fn bind(config: ServerConfig, manager: Arc<ShardManager>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(config.addr.as_str())?;
         let local_addr = listener.local_addr()?;
-        let metrics = Arc::new(MetricsRegistry::new());
+        let slow_ns =
+            config.slow_op_threshold.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+        let metrics = Arc::new(MetricsRegistry::with_observability(config.trace_capacity, slow_ns));
         // An injected store wins (tests wire fault injection through
         // it); otherwise `store_dir` opens one on the real filesystem.
         let store = match (&config.store, &config.store_dir) {
@@ -346,10 +361,21 @@ impl Server {
             (None, None) => None,
         };
         if let Some(store) = &store {
+            if let Some(ring) = metrics.tracer() {
+                store.set_tracer(Arc::clone(ring));
+            }
             let mut recovered = 0u64;
             for snap in store.take_recovered() {
+                let (corpus, epoch) = (snap.corpus, snap.epoch);
                 if manager.load_snapshot_shared_at(snap.corpus, snap.bytes, snap.epoch).is_ok() {
                     recovered += 1;
+                    if let Some(ring) = metrics.tracer() {
+                        ring.emit(TraceEvent {
+                            shard: corpus,
+                            epoch,
+                            ..TraceEvent::new(TraceKind::Recovery)
+                        });
+                    }
                 }
             }
             metrics.record_recoveries(recovered);
@@ -425,7 +451,11 @@ impl Server {
     /// scoped threads; workers borrow the server state directly — the
     /// scope guarantees they end before `run` returns.
     fn run_thread_pool(&self) {
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = std::sync::mpsc::channel();
+        // Each admitted connection travels with its id and accept time,
+        // so accept-to-first-response includes the queueing delay behind
+        // busy workers — exactly the latency the admission bound trades.
+        type Admitted = (u64, Instant, TcpStream);
+        let (tx, rx): (Sender<Admitted>, Receiver<Admitted>) = std::sync::mpsc::channel();
         let rx = Mutex::new(rx);
         std::thread::scope(|scope| {
             for _ in 0..self.workers {
@@ -451,9 +481,13 @@ impl Server {
                             self.shed_overloaded(stream);
                             continue;
                         }
-                        self.metrics.conn_opened();
+                        let conn_id = self.metrics.conn_opened();
+                        self.trace_emit(TraceEvent {
+                            conn: conn_id,
+                            ..TraceEvent::new(TraceKind::ConnAccepted)
+                        });
                         // Send fails only if all workers exited (shutdown).
-                        if tx.send(stream).is_err() {
+                        if tx.send((conn_id, Instant::now(), stream)).is_err() {
                             break;
                         }
                     }
@@ -467,14 +501,16 @@ impl Server {
         });
     }
 
-    fn worker_loop(&self, rx: &Mutex<Receiver<TcpStream>>) {
+    fn worker_loop(&self, rx: &Mutex<Receiver<(u64, Instant, TcpStream)>>) {
         loop {
             let stream = {
                 let guard = rx.lock().expect("connection queue not poisoned");
                 guard.recv()
             };
             match stream {
-                Ok(stream) => self.handle_connection(stream),
+                Ok((conn_id, accepted_at, stream)) => {
+                    self.handle_connection(conn_id, accepted_at, stream)
+                }
                 Err(_) => return, // acceptor gone: shutdown
             }
         }
@@ -482,7 +518,7 @@ impl Server {
 
     /// Serves one connection to completion (client close, shutdown, or a
     /// fatal framing/IO error).
-    fn handle_connection(&self, stream: TcpStream) {
+    fn handle_connection(&self, conn_id: u64, accepted_at: Instant, stream: TcpStream) {
         // conn_opened is recorded by the acceptor (admission bound).
         let _ = stream.set_nodelay(true);
         // A finite read timeout turns blocking reads into shutdown polls.
@@ -498,6 +534,7 @@ impl Server {
         let mut buf = RecvBuf::new();
         let mut out: Vec<u8> = Vec::with_capacity(4096);
         let mut peer_closed = false;
+        let mut first_resp_pending = true;
         // Abuse tracking: when the current *incomplete* frame was first
         // observed (read deadline — trickled bytes do not reset it) and
         // when this connection last finished a round (idle timeout).
@@ -521,6 +558,10 @@ impl Server {
                             if let Some(idle) = self.idle_timeout {
                                 if round_end.elapsed() >= idle {
                                     self.metrics.record_idle_reaped();
+                                    self.trace_emit(TraceEvent {
+                                        conn: conn_id,
+                                        ..TraceEvent::new(TraceKind::ConnIdleReaped)
+                                    });
                                     break 'conn;
                                 }
                             }
@@ -529,6 +570,10 @@ impl Server {
                             if let Some(deadline) = self.read_deadline {
                                 if started.elapsed() >= deadline {
                                     self.metrics.record_deadline_evicted();
+                                    self.trace_emit(TraceEvent {
+                                        conn: conn_id,
+                                        ..TraceEvent::new(TraceKind::ConnDeadlineEvicted)
+                                    });
                                     break 'conn;
                                 }
                             }
@@ -564,11 +609,24 @@ impl Server {
             // Phase 3: decode + answer every complete frame, then flush
             // the whole round in a single write.
             out.clear();
-            let status = self.process_round(&mut buf, &mut out, peer, usize::MAX, false);
+            let status = self.process_round(&mut buf, &mut out, peer, conn_id, usize::MAX, false);
             frame_start = None;
             round_end = Instant::now();
-            if !out.is_empty() && stream.write_all(&out).is_err() {
-                break 'conn;
+            if !out.is_empty() {
+                if stream.write_all(&out).is_err() {
+                    break 'conn;
+                }
+                if first_resp_pending {
+                    first_resp_pending = false;
+                    self.metrics.record_accept_to_first(
+                        accepted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    );
+                }
+                self.trace_emit(TraceEvent {
+                    conn: conn_id,
+                    len: out.len().min(u32::MAX as usize) as u32,
+                    ..TraceEvent::new(TraceKind::Flush)
+                });
             }
             if status.shutdown {
                 self.shutdown.store(true, Ordering::SeqCst);
@@ -585,6 +643,7 @@ impl Server {
             }
         }
         self.metrics.conn_closed();
+        self.trace_emit(TraceEvent { conn: conn_id, ..TraceEvent::new(TraceKind::ConnClosed) });
     }
 
     // ------------------------------------------------------------------
@@ -607,6 +666,7 @@ impl Server {
         buf: &mut RecvBuf,
         out: &mut Vec<u8>,
         peer: IpAddr,
+        conn: u64,
         out_budget: usize,
         defer_installs: bool,
     ) -> RoundStatus {
@@ -623,6 +683,12 @@ impl Server {
                     // close once it is flushed. Resynchronizing an LE
                     // byte stream after a corrupt length is not possible.
                     self.metrics.record_error();
+                    // detail = u64::MAX marks "no opcode ever decoded".
+                    self.trace_emit(TraceEvent {
+                        conn,
+                        detail: u64::MAX,
+                        ..TraceEvent::new(TraceKind::FrameError)
+                    });
                     out.extend_from_slice(&encode_response(&Response::Error {
                         message: e.to_string(),
                     }));
@@ -634,6 +700,12 @@ impl Server {
                     let resp = match decode_request(&buf.filled()[4..total]) {
                         Err(e) => {
                             self.metrics.record_error();
+                            self.trace_emit(TraceEvent {
+                                conn,
+                                len: total.min(u32::MAX as usize) as u32,
+                                detail: u64::MAX,
+                                ..TraceEvent::new(TraceKind::FrameError)
+                            });
                             Response::Error { message: e.to_string() }
                         }
                         Ok(req)
@@ -648,7 +720,7 @@ impl Server {
                             break;
                         }
                         Ok(req) => {
-                            let (resp, initiate) = self.answer_timed(req, &mut pinned, peer);
+                            let (resp, initiate) = self.answer_timed(req, &mut pinned, peer, conn);
                             status.shutdown |= initiate;
                             resp
                         }
@@ -668,20 +740,32 @@ impl Server {
     /// anyway.
     fn shed_overloaded(&self, mut stream: TcpStream) {
         self.metrics.record_overloaded();
+        // Shed connections were never admitted, so they have no id.
+        self.trace_emit(TraceEvent { ..TraceEvent::new(TraceKind::ConnShed) });
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
         let _ = stream.write_all(&encode_response(&Response::Overloaded));
     }
 
-    /// Answers one request with metrics instrumentation (op counter,
-    /// pattern count, service latency, error counter) and the shutdown
-    /// gate. Returns the response and whether an admitted `Shutdown`
-    /// should stop the daemon.
+    /// Emits a trace event when tracing is enabled; one branch otherwise.
+    fn trace_emit(&self, ev: TraceEvent) {
+        if let Some(ring) = self.metrics.tracer() {
+            ring.emit(ev);
+        }
+    }
+
+    /// Answers one request with full observability (op counter, pattern
+    /// count, service latency into the global/per-op/per-shard
+    /// histograms, error counter, `frame_answered`/`frame_error` trace
+    /// events, the slow-op log) and the shutdown gate. Returns the
+    /// response and whether an admitted `Shutdown` should stop the
+    /// daemon.
     fn answer_timed(
         &self,
         req: Request,
         pinned: &mut HashMap<u32, Option<Arc<ShardSnapshot>>>,
         peer: IpAddr,
+        conn: u64,
     ) -> (Response, bool) {
         let (op, patterns) = match &req {
             Request::Query { .. } => (OpKind::Query, 1),
@@ -692,6 +776,29 @@ impl Server {
             Request::Rollback { .. } => (OpKind::Rollback, 0),
             Request::Metrics => (OpKind::Metrics, 0),
             Request::Shutdown => (OpKind::Shutdown, 0),
+            Request::Trace { .. } => (OpKind::Trace, 0),
+            Request::MetricsText => (OpKind::MetricsText, 0),
+        };
+        // Fingerprints cost a hash of the pattern bytes, so they are
+        // computed only when a trace ring exists to carry them. Events
+        // never carry the bytes themselves (DESIGN.md §16).
+        let tracing = self.metrics.tracer().is_some();
+        let (shard, fingerprint, len) = match &req {
+            Request::Query { shard, pattern } | Request::Contains { shard, pattern } => (
+                Some(*shard),
+                if tracing { fnv1a(pattern) } else { 0 },
+                pattern.len().min(u32::MAX as usize) as u32,
+            ),
+            Request::QueryBatch { shard, patterns } => (
+                Some(*shard),
+                if tracing { patterns.first().map_or(0, |p| fnv1a(p)) } else { 0 },
+                patterns.len().min(u32::MAX as usize) as u32,
+            ),
+            Request::LoadSnapshot { shard, snapshot } => {
+                (Some(*shard), 0, snapshot.len().min(u32::MAX as usize) as u32)
+            }
+            Request::Rollback { shard, .. } => (Some(*shard), 0, 0),
+            _ => (None, 0, 0),
         };
         let t0 = Instant::now();
         let mut initiate = false;
@@ -711,12 +818,17 @@ impl Server {
             self.answer(req, pinned)
         };
         let latency_ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        if matches!(resp, Response::Error { .. }) {
-            self.metrics.record_error();
-            self.metrics.record(op, 0, latency_ns);
-        } else {
-            self.metrics.record(op, patterns, latency_ns);
-        }
+        let error = matches!(resp, Response::Error { .. });
+        self.metrics.observe(&OpObservation {
+            op,
+            patterns: if error { 0 } else { patterns },
+            latency_ns,
+            conn,
+            shard,
+            fingerprint,
+            len,
+            error,
+        });
         (resp, initiate)
     }
 
@@ -766,9 +878,22 @@ impl Server {
                 }
                 Response::Stats(ServerStats { cache: self.cache_stats(), shards })
             }
-            Request::Metrics => Response::Metrics(
+            Request::Metrics => Response::Metrics(Box::new(
                 self.metrics.report(self.cache_stats(), self.manager.metrics_shards()),
-            ),
+            )),
+            Request::MetricsText => Response::MetricsText {
+                text: render_prometheus(
+                    &self.metrics.report(self.cache_stats(), self.manager.metrics_shards()),
+                ),
+            },
+            // The snapshot is taken before this Trace op's own
+            // frame_answered event lands, so a drain never sees itself.
+            Request::Trace { max } => Response::Trace {
+                events: self
+                    .metrics
+                    .tracer()
+                    .map_or_else(Vec::new, |ring| ring.snapshot(max as usize)),
+            },
             Request::LoadSnapshot { shard, snapshot } => {
                 let resp = self.install_snapshot(shard, snapshot);
                 if matches!(resp, Response::LoadSnapshot { .. }) {
@@ -796,12 +921,21 @@ impl Server {
     /// that order, so the daemon never serves an epoch it cannot
     /// recover, and a persist failure leaves the old epoch serving.
     fn install_snapshot(&self, shard: u32, snapshot: Arc<[u8]>) -> Response {
+        let snap_len = snapshot.len().min(u32::MAX as usize) as u32;
         let Some(store) = &self.store else {
             return match self.manager.load_snapshot_shared(shard, snapshot) {
-                Ok(snap) => Response::LoadSnapshot {
-                    epoch: snap.epoch,
-                    node_count: snap.synopsis.node_count() as u64,
-                },
+                Ok(snap) => {
+                    self.trace_emit(TraceEvent {
+                        shard,
+                        epoch: snap.epoch,
+                        len: snap_len,
+                        ..TraceEvent::new(TraceKind::SnapshotInstalled)
+                    });
+                    Response::LoadSnapshot {
+                        epoch: snap.epoch,
+                        node_count: snap.synopsis.node_count() as u64,
+                    }
+                }
                 Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
             };
         };
@@ -817,10 +951,18 @@ impl Server {
             }
         };
         match self.manager.load_snapshot_shared_at(shard, snapshot, epoch) {
-            Ok(snap) => Response::LoadSnapshot {
-                epoch: snap.epoch,
-                node_count: snap.synopsis.node_count() as u64,
-            },
+            Ok(snap) => {
+                self.trace_emit(TraceEvent {
+                    shard,
+                    epoch: snap.epoch,
+                    len: snap_len,
+                    ..TraceEvent::new(TraceKind::SnapshotInstalled)
+                });
+                Response::LoadSnapshot {
+                    epoch: snap.epoch,
+                    node_count: snap.synopsis.node_count() as u64,
+                }
+            }
             Err(e) => Response::Error { message: format!("snapshot rejected: {e}") },
         }
     }
@@ -837,9 +979,18 @@ impl Server {
         match store.rollback(shard, epoch) {
             Err(e) => Response::Error { message: format!("rollback refused: {e}") },
             Ok((new_epoch, bytes)) => {
+                let snap_len = bytes.len().min(u32::MAX as usize) as u32;
                 match self.manager.load_snapshot_shared_at(shard, bytes, new_epoch) {
                     Ok(snap) => {
                         self.metrics.record_rollback();
+                        // detail carries the epoch rolled back *to*.
+                        self.trace_emit(TraceEvent {
+                            shard,
+                            epoch: snap.epoch,
+                            len: snap_len,
+                            detail: epoch,
+                            ..TraceEvent::new(TraceKind::SnapshotInstalled)
+                        });
                         Response::Rollback { epoch: snap.epoch }
                     }
                     Err(e) => Response::Error { message: format!("rollback refused: {e}") },
@@ -995,6 +1146,15 @@ mod readiness {
     struct Conn {
         stream: TcpStream,
         peer: IpAddr,
+        /// The accept-counter id trace events reference.
+        id: u64,
+        /// When the connection was admitted (accept-to-first clock).
+        accepted_at: Instant,
+        /// No response byte has reached the socket yet.
+        first_resp_pending: bool,
+        /// Reading is currently parked by write backpressure (the
+        /// park/unpark counters track edges, not states).
+        parked: bool,
         generation: u32,
         buf: RecvBuf,
         /// Queued output; `sent` is the `Writing{offset}` cursor.
@@ -1032,6 +1192,7 @@ mod readiness {
         idx: usize,
         gen: u32,
         peer: IpAddr,
+        conn: u64,
         req: Request,
     }
 
@@ -1102,7 +1263,7 @@ mod readiness {
                     // connections. answer_timed records the op metrics.
                     while let Ok(job) = inst_rx.recv() {
                         let mut pinned = HashMap::new();
-                        let (resp, _) = srv.answer_timed(job.req, &mut pinned, job.peer);
+                        let (resp, _) = srv.answer_timed(job.req, &mut pinned, job.peer, job.conn);
                         done.lock().expect("install completions not poisoned").push(InstallDone {
                             idx: job.idx,
                             gen: job.gen,
@@ -1148,9 +1309,14 @@ mod readiness {
                     } else {
                         None
                     };
+                    let wait_start = Instant::now();
                     if poller.wait(&mut events, timeout).is_err() {
                         break 'event_loop;
                     }
+                    // Loop utilization: time blocked in epoll_wait vs
+                    // time servicing the readiness batch (through the
+                    // sweep at the bottom of this iteration).
+                    let busy_start = Instant::now();
                     let batch: Vec<crate::poll::Event> = events.iter().collect();
                     for ev in batch {
                         match ev.token {
@@ -1181,6 +1347,10 @@ mod readiness {
                                         let _ = poller.delete(conn.stream.as_raw_fd());
                                         free.push(d.idx);
                                         self.metrics.conn_closed();
+                                        self.trace_emit(TraceEvent {
+                                            conn: conn.id,
+                                            ..TraceEvent::new(TraceKind::ConnClosed)
+                                        });
                                     }
                                 }
                             }
@@ -1214,6 +1384,10 @@ mod readiness {
                                     let _ = poller.delete(conn.stream.as_raw_fd());
                                     free.push(idx);
                                     self.metrics.conn_closed();
+                                    self.trace_emit(TraceEvent {
+                                        conn: conn.id,
+                                        ..TraceEvent::new(TraceKind::ConnClosed)
+                                    });
                                 }
                             }
                         }
@@ -1225,6 +1399,11 @@ mod readiness {
                             last_sweep = now;
                         }
                     }
+                    self.metrics.record_loop(
+                        busy_start.duration_since(wait_start).as_nanos().min(u64::MAX as u128)
+                            as u64,
+                        busy_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    );
                 }
 
                 // Teardown: every remaining connection closes; the
@@ -1232,8 +1411,13 @@ mod readiness {
                 // scope joins it.
                 for conn in conns.into_iter().flatten() {
                     let _ = poller.delete(conn.stream.as_raw_fd());
+                    let id = conn.id;
                     drop(conn.stream);
                     self.metrics.conn_closed();
+                    self.trace_emit(TraceEvent {
+                        conn: id,
+                        ..TraceEvent::new(TraceKind::ConnClosed)
+                    });
                 }
                 drop(inst_tx);
             });
@@ -1272,6 +1456,12 @@ mod readiness {
                         if now.duration_since(since) >= deadline {
                             evict = true;
                             self.metrics.record_deadline_evicted();
+                            self.trace_emit(TraceEvent {
+                                conn: conn.id,
+                                dur_ns: now.duration_since(since).as_nanos().min(u64::MAX as u128)
+                                    as u64,
+                                ..TraceEvent::new(TraceKind::ConnDeadlineEvicted)
+                            });
                         }
                     } else {
                         conn.stall_since = None;
@@ -1285,6 +1475,15 @@ mod readiness {
                         {
                             evict = true;
                             self.metrics.record_idle_reaped();
+                            self.trace_emit(TraceEvent {
+                                conn: conn.id,
+                                dur_ns: now
+                                    .duration_since(conn.last_activity)
+                                    .as_nanos()
+                                    .min(u64::MAX as u128)
+                                    as u64,
+                                ..TraceEvent::new(TraceKind::ConnIdleReaped)
+                            });
                         }
                     }
                 }
@@ -1293,6 +1492,10 @@ mod readiness {
                     let _ = poller.delete(conn.stream.as_raw_fd());
                     free.push(idx);
                     self.metrics.conn_closed();
+                    self.trace_emit(TraceEvent {
+                        conn: conn.id,
+                        ..TraceEvent::new(TraceKind::ConnClosed)
+                    });
                 }
             }
         }
@@ -1333,9 +1536,14 @@ mod readiness {
                             free.push(idx);
                             continue;
                         }
+                        let conn_id = self.metrics.conn_opened();
                         conns[idx] = Some(Conn {
                             stream,
                             peer: peer.ip(),
+                            id: conn_id,
+                            accepted_at: Instant::now(),
+                            first_resp_pending: true,
+                            parked: false,
                             generation: *generation,
                             buf: RecvBuf::new(),
                             out: Vec::new(),
@@ -1348,7 +1556,10 @@ mod readiness {
                             last_activity: Instant::now(),
                             stall_since: None,
                         });
-                        self.metrics.conn_opened();
+                        self.trace_emit(TraceEvent {
+                            conn: conn_id,
+                            ..TraceEvent::new(TraceKind::ConnAccepted)
+                        });
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => return accept_errors,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
@@ -1387,8 +1598,14 @@ mod readiness {
                     // may still carry a flushed-but-uncompacted prefix of
                     // `sent` bytes, which must not eat the allowance.
                     let budget = conn.sent.saturating_add(high_water);
-                    let status =
-                        self.process_round(&mut conn.buf, &mut conn.out, conn.peer, budget, true);
+                    let status = self.process_round(
+                        &mut conn.buf,
+                        &mut conn.out,
+                        conn.peer,
+                        conn.id,
+                        budget,
+                        true,
+                    );
                     if status.shutdown {
                         self.shutdown.store(true, Ordering::SeqCst);
                         conn.shutdown_ack = true;
@@ -1406,11 +1623,28 @@ mod readiness {
                             idx,
                             gen: conn.generation,
                             peer: conn.peer,
+                            conn: conn.id,
                             req,
                         });
                     }
                 }
-                match flush_out(conn) {
+                let pending_before = conn.pending_out();
+                let outcome = flush_out(conn);
+                let flushed = pending_before - conn.pending_out();
+                if flushed > 0 {
+                    if conn.first_resp_pending {
+                        conn.first_resp_pending = false;
+                        self.metrics.record_accept_to_first(
+                            conn.accepted_at.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        );
+                    }
+                    self.trace_emit(TraceEvent {
+                        conn: conn.id,
+                        len: flushed.min(u32::MAX as usize) as u32,
+                        ..TraceEvent::new(TraceKind::Flush)
+                    });
+                }
+                match outcome {
                     FlushOutcome::Fatal => return Pump::Close,
                     FlushOutcome::Blocked | FlushOutcome::Drained => {}
                 }
@@ -1452,6 +1686,27 @@ mod readiness {
                     }
                     ReadOutcome::Fatal => return Pump::Close,
                 }
+            }
+            // Park/unpark edges: reading pauses exactly while the
+            // pending output exceeds the high-water mark (closing and
+            // blocked pauses are not backpressure).
+            let backpressured = !conn.closing && !conn.blocked && conn.pending_out() > high_water;
+            if backpressured && !conn.parked {
+                conn.parked = true;
+                self.metrics.record_park();
+                self.trace_emit(TraceEvent {
+                    conn: conn.id,
+                    len: conn.pending_out().min(u32::MAX as usize) as u32,
+                    ..TraceEvent::new(TraceKind::Park)
+                });
+            } else if !backpressured && conn.parked {
+                conn.parked = false;
+                self.metrics.record_unpark();
+                self.trace_emit(TraceEvent {
+                    conn: conn.id,
+                    len: conn.pending_out().min(u32::MAX as usize) as u32,
+                    ..TraceEvent::new(TraceKind::Unpark)
+                });
             }
             // Re-arm: readable unless backpressured/blocked/closing,
             // writable while output is pending.

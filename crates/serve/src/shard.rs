@@ -190,7 +190,10 @@ impl ShardManager {
 
     /// One [`MetricsShard`] record per resident shard, ascending by id —
     /// the compact identity triple (`shard_id`, `epoch`,
-    /// `serialized_len`) the `Metrics` op reports.
+    /// `serialized_len`) the `Metrics` op reports. The latency columns
+    /// start zeroed; the
+    /// [`MetricsRegistry`](crate::metrics::MetricsRegistry) fills them
+    /// from its per-shard histograms when it builds the report.
     pub fn metrics_shards(&self) -> Vec<MetricsShard> {
         let shards = self.shards.read().expect("shard map not poisoned");
         shards
@@ -199,6 +202,9 @@ impl ShardManager {
                 shard_id,
                 epoch: snap.epoch,
                 serialized_len: snap.serialized_len as u64,
+                ops: 0,
+                latency_p50_ns: 0.0,
+                latency_p99_ns: 0.0,
             })
             .collect()
     }

@@ -63,6 +63,8 @@ use std::sync::{Arc, Mutex};
 use dpsc_private_count::codec::fnv1a;
 use dpsc_private_count::FrozenSynopsis;
 
+use crate::trace::{TraceEvent, TraceKind, TraceRing};
+
 /// Manifest file name inside the store directory.
 pub const MANIFEST_NAME: &str = "MANIFEST";
 /// Manifest header: magic + LE version + two reserved zero bytes.
@@ -425,6 +427,12 @@ pub struct SnapshotStore {
     io: Box<dyn StoreIo>,
     retain: usize,
     state: Mutex<StoreState>,
+    /// Optional trace sink ([`SnapshotStore::set_tracer`]): each of the
+    /// six mutating persist ops emits a `store_op` event as it
+    /// completes, plus `persist_committed`/`rollback_committed` at the
+    /// commit points. Events carry corpus/epoch/lengths — never payload
+    /// bytes.
+    tracer: Mutex<Option<Arc<TraceRing>>>,
 }
 
 impl SnapshotStore {
@@ -455,6 +463,7 @@ impl SnapshotStore {
                 manifest_exists: false,
                 recovered: Vec::new(),
             }),
+            tracer: Mutex::new(None),
         };
         store.recover()?;
         Ok(store)
@@ -463,6 +472,33 @@ impl SnapshotStore {
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Wires a trace ring into the store (the server does this at bind
+    /// when tracing is enabled). Emits `store_op` events for the six
+    /// mutating persist ops and commit events thereafter.
+    pub fn set_tracer(&self, ring: Arc<TraceRing>) {
+        *self.tracer.lock().expect("tracer slot not poisoned") = Some(ring);
+    }
+
+    fn trace(&self, ev: TraceEvent) {
+        if let Some(ring) = self.tracer.lock().expect("tracer slot not poisoned").as_ref() {
+            ring.emit(ev);
+        }
+    }
+
+    /// A `store_op` event: `detail` indexes the six-op persist sequence
+    /// (0 write-temp, 1 sync-temp, 2 rename, 3 sync-dir, 4
+    /// manifest-append, 5 manifest-sync — the commit point), emitted as
+    /// each op *completes*, so the trace shows exactly how far a persist
+    /// got.
+    fn trace_store_op(&self, corpus: u32, epoch: u64, op_index: u64) {
+        self.trace(TraceEvent {
+            shard: corpus,
+            epoch,
+            detail: op_index,
+            ..TraceEvent::new(TraceKind::StoreOp)
+        });
     }
 
     fn manifest_path(&self) -> PathBuf {
@@ -614,9 +650,13 @@ impl SnapshotStore {
         let final_path = self.dir.join(&name);
         let tmp_path = self.dir.join(format!("{name}.tmp"));
         self.io.write_file(&tmp_path, bytes)?;
+        self.trace_store_op(corpus, epoch, 0);
         self.io.sync_file(&tmp_path)?;
+        self.trace_store_op(corpus, epoch, 1);
         self.io.rename(&tmp_path, &final_path)?;
+        self.trace_store_op(corpus, epoch, 2);
         self.io.sync_dir(&self.dir)?;
+        self.trace_store_op(corpus, epoch, 3);
 
         let rec = ManifestRecord {
             corpus,
@@ -626,6 +666,12 @@ impl SnapshotStore {
             fnv: fnv1a(bytes),
         };
         self.commit_record(&mut st, rec)?;
+        self.trace(TraceEvent {
+            shard: corpus,
+            epoch,
+            len: bytes.len().min(u32::MAX as usize) as u32,
+            ..TraceEvent::new(TraceKind::PersistCommitted)
+        });
         Ok(epoch)
     }
 
@@ -652,6 +698,13 @@ impl SnapshotStore {
         st.next_epoch += 1;
         let new_rec = ManifestRecord { corpus, epoch: new_epoch, ..rec };
         self.commit_record(&mut st, new_rec)?;
+        // detail carries the epoch rolled back to.
+        self.trace(TraceEvent {
+            shard: corpus,
+            epoch: new_epoch,
+            detail: epoch,
+            ..TraceEvent::new(TraceKind::RollbackCommitted)
+        });
         Ok((new_epoch, bytes))
     }
 
@@ -665,7 +718,9 @@ impl SnapshotStore {
         rec.encode_into(&mut buf);
         let manifest = self.manifest_path();
         self.io.append_file(&manifest, &buf)?;
+        self.trace_store_op(rec.corpus, rec.epoch, 4);
         self.io.sync_file(&manifest)?;
+        self.trace_store_op(rec.corpus, rec.epoch, 5);
         st.manifest_exists = true;
         st.records.entry(rec.corpus).or_default().push(rec);
 

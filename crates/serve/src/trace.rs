@@ -1,0 +1,434 @@
+//! Structured trace ring: a bounded, lock-free event buffer the daemon's
+//! hot paths append to and the `Trace` wire op snapshots.
+//!
+//! ## Design
+//!
+//! The ring is a power-of-two array of slots. A global sequence counter
+//! assigns each emitted event a unique, ever-increasing `seq`; the event
+//! lands in slot `seq & (capacity - 1)`, overwriting whatever was there
+//! `capacity` events ago. Readers never block writers and writers never
+//! block each other: every slot is a tiny seqlock (a version word that is
+//! odd while a write is in flight, plus one `AtomicU64` per event field),
+//! which keeps the whole structure within safe Rust — the workspace
+//! denies `unsafe_code`. A reader accepts a slot only when the version
+//! reads `2·seq + 2` before *and* after the field loads and the slot's
+//! recorded `seq` matches; anything else (mid-write, overwritten, torn by
+//! a racing lap) is silently skipped. Tracing is therefore **best
+//! effort by construction**: under wrap-around contention an event can
+//! be lost, never corrupted into a plausible-looking lie that passes the
+//! version/seq check, and never unsafe.
+//!
+//! ## Privacy
+//!
+//! Events carry pattern **fingerprints** (FNV-1a of the pattern bytes)
+//! and **lengths**, never pattern bytes. This is the observability
+//! layer's privacy rule (DESIGN.md §16), certified by the audit matrix's
+//! `observability` scenario: the entire trace/metrics surface is
+//! post-processing of released synopses plus content-free request
+//! metadata, so it consumes no privacy budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of packed `u64` fields per event (see [`TraceEvent::pack`]).
+const FIELDS: usize = 10;
+
+/// Sentinel for "no shard" in [`TraceEvent::shard`].
+pub const NO_SHARD: u32 = u32::MAX;
+
+/// What happened. Codes are stable wire values (see the `Trace` op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A connection was admitted (`conn` = connection id).
+    ConnAccepted = 1,
+    /// A connection ended for any reason.
+    ConnClosed = 2,
+    /// A connection was shed with an `Overloaded` frame at the admission
+    /// bound (never admitted).
+    ConnShed = 3,
+    /// An idle connection was reaped by the idle timeout.
+    ConnIdleReaped = 4,
+    /// A connection stalled mid-frame past the read deadline and was
+    /// evicted (slow-loris defense).
+    ConnDeadlineEvicted = 5,
+    /// One request frame answered; `dur_ns` spans decode→answer,
+    /// `detail` holds the wire opcode, `fingerprint`/`len` describe the
+    /// pattern (batch: fingerprint of the first pattern, `len` = batch
+    /// size).
+    FrameAnswered = 6,
+    /// An `Error` response was produced (malformed frame, unknown shard,
+    /// rejected snapshot, …); `detail` holds the wire opcode when the
+    /// frame decoded far enough to know it, else `u64::MAX`.
+    FrameError = 7,
+    /// A request exceeded the slow-op threshold; `detail` holds the
+    /// threshold in nanoseconds, `dur_ns` the actual service time. This
+    /// is the slow-op log: privacy-clean by the same fingerprint rule.
+    SlowOp = 8,
+    /// A snapshot was installed into the shard map (`shard`, `epoch`).
+    SnapshotInstalled = 9,
+    /// One mutating store operation of a persist completed; `detail` is
+    /// the op index 0–5 (write-temp, fsync-temp, rename, fsync-dir,
+    /// manifest-append, manifest-fsync — DESIGN.md §15's crash points).
+    StoreOp = 10,
+    /// A persist committed durably (`shard`, `epoch`, `len` = snapshot
+    /// bytes, `dur_ns` = full persist time).
+    PersistCommitted = 11,
+    /// A retained epoch was rolled back in via the store manifest.
+    RollbackCommitted = 12,
+    /// A shard was re-installed from the manifest at startup.
+    Recovery = 13,
+    /// Output bytes flushed to a socket (`len` = bytes written).
+    Flush = 14,
+    /// Write backpressure parked reads on a connection (pending output
+    /// above the high-water mark).
+    Park = 15,
+    /// A parked connection resumed reading (output drained).
+    Unpark = 16,
+}
+
+impl TraceKind {
+    /// Stable numeric code used in slots and on the wire.
+    pub fn code(self) -> u32 {
+        self as u32
+    }
+
+    /// Inverse of [`code`](TraceKind::code); `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<Self> {
+        use TraceKind::*;
+        Some(match code {
+            1 => ConnAccepted,
+            2 => ConnClosed,
+            3 => ConnShed,
+            4 => ConnIdleReaped,
+            5 => ConnDeadlineEvicted,
+            6 => FrameAnswered,
+            7 => FrameError,
+            8 => SlowOp,
+            9 => SnapshotInstalled,
+            10 => StoreOp,
+            11 => PersistCommitted,
+            12 => RollbackCommitted,
+            13 => Recovery,
+            14 => Flush,
+            15 => Park,
+            16 => Unpark,
+            _ => return None,
+        })
+    }
+
+    /// Stable snake_case label (used by the text exposition and the
+    /// example's trace printer).
+    pub fn label(self) -> &'static str {
+        use TraceKind::*;
+        match self {
+            ConnAccepted => "conn_accepted",
+            ConnClosed => "conn_closed",
+            ConnShed => "conn_shed",
+            ConnIdleReaped => "conn_idle_reaped",
+            ConnDeadlineEvicted => "conn_deadline_evicted",
+            FrameAnswered => "frame_answered",
+            FrameError => "frame_error",
+            SlowOp => "slow_op",
+            SnapshotInstalled => "snapshot_installed",
+            StoreOp => "store_op",
+            PersistCommitted => "persist_committed",
+            RollbackCommitted => "rollback_committed",
+            Recovery => "recovery",
+            Flush => "flush",
+            Park => "park",
+            Unpark => "unpark",
+        }
+    }
+}
+
+/// One drained trace event. All fields are content-free metadata:
+/// patterns appear only as FNV-1a fingerprints and lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Ring-assigned sequence number (dense, starts at 0).
+    pub seq: u64,
+    /// Monotonic nanoseconds since the ring was created.
+    pub ts_ns: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Connection id (the accept counter value; 0 = not tied to a
+    /// connection).
+    pub conn: u64,
+    /// Corpus/shard id, [`NO_SHARD`] when not applicable.
+    pub shard: u32,
+    /// Snapshot epoch, 0 when not applicable.
+    pub epoch: u64,
+    /// FNV-1a fingerprint of the pattern bytes, 0 when not applicable.
+    pub fingerprint: u64,
+    /// Pattern length, batch size, or byte count depending on `kind`.
+    pub len: u32,
+    /// Span duration in nanoseconds (0 for point events).
+    pub dur_ns: u64,
+    /// Kind-specific detail (wire opcode, store-op index, threshold…).
+    pub detail: u64,
+}
+
+impl TraceEvent {
+    /// A point event of `kind` with every optional field cleared.
+    pub fn new(kind: TraceKind) -> Self {
+        Self {
+            seq: 0,
+            ts_ns: 0,
+            kind,
+            conn: 0,
+            shard: NO_SHARD,
+            epoch: 0,
+            fingerprint: 0,
+            len: 0,
+            dur_ns: 0,
+            detail: 0,
+        }
+    }
+
+    fn pack(&self) -> [u64; FIELDS] {
+        [
+            self.seq,
+            self.ts_ns,
+            self.kind.code() as u64,
+            self.conn,
+            self.shard as u64,
+            self.epoch,
+            self.fingerprint,
+            self.len as u64,
+            self.dur_ns,
+            self.detail,
+        ]
+    }
+
+    fn unpack(f: [u64; FIELDS]) -> Option<Self> {
+        Some(Self {
+            seq: f[0],
+            ts_ns: f[1],
+            kind: TraceKind::from_code(u32::try_from(f[2]).ok()?)?,
+            conn: f[3],
+            shard: u32::try_from(f[4]).ok()?,
+            epoch: f[5],
+            fingerprint: f[6],
+            len: u32::try_from(f[7]).ok()?,
+            dur_ns: f[8],
+            detail: f[9],
+        })
+    }
+}
+
+/// One seqlocked slot: `version` is `2·seq + 1` while the writer of
+/// event `seq` is mid-flight and `2·seq + 2` once stable.
+#[derive(Debug)]
+struct Slot {
+    version: AtomicU64,
+    fields: [AtomicU64; FIELDS],
+}
+
+/// The bounded event ring. Capacity 0 disables tracing entirely
+/// ([`emit`](TraceRing::emit) is one branch); otherwise capacity is
+/// rounded up to a power of two.
+#[derive(Debug)]
+pub struct TraceRing {
+    origin: Instant,
+    mask: u64,
+    seq: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `capacity` events (rounded up to a
+    /// power of two; 0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        let cap = if capacity == 0 { 0 } else { capacity.next_power_of_two() };
+        let slots = (0..cap)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                fields: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect();
+        Self {
+            origin: Instant::now(),
+            mask: (cap as u64).wrapping_sub(1),
+            seq: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Whether events are being recorded at all.
+    pub fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Slot count (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events ever emitted (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events no longer retrievable because the ring lapped them.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.slots.len() as u64)
+    }
+
+    /// Appends an event; `seq` and `ts_ns` are assigned by the ring
+    /// (caller values are ignored). No-op when disabled.
+    pub fn emit(&self, mut ev: TraceEvent) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let s = self.seq.fetch_add(1, Ordering::AcqRel);
+        ev.seq = s;
+        ev.ts_ns = self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let slot = &self.slots[(s & self.mask) as usize];
+        slot.version.store(2 * s + 1, Ordering::Release);
+        for (dst, v) in slot.fields.iter().zip(ev.pack()) {
+            dst.store(v, Ordering::Relaxed);
+        }
+        slot.version.store(2 * s + 2, Ordering::Release);
+    }
+
+    fn read_slot(&self, s: u64) -> Option<TraceEvent> {
+        let slot = &self.slots[(s & self.mask) as usize];
+        let want = 2 * s + 2;
+        if slot.version.load(Ordering::Acquire) != want {
+            return None;
+        }
+        let fields: [u64; FIELDS] = std::array::from_fn(|i| slot.fields[i].load(Ordering::Relaxed));
+        if slot.version.load(Ordering::Acquire) != want {
+            return None;
+        }
+        let ev = TraceEvent::unpack(fields)?;
+        if ev.seq != s {
+            return None;
+        }
+        Some(ev)
+    }
+
+    /// The most recent `max` events in ascending `seq` order. Read-only
+    /// and non-destructive — two back-to-back snapshots of a quiet ring
+    /// return the same events, which is what makes the `Trace` wire op
+    /// idempotent and safe to retry.
+    pub fn snapshot(&self, max: usize) -> Vec<TraceEvent> {
+        if self.slots.is_empty() || max == 0 {
+            return Vec::new();
+        }
+        let head = self.seq.load(Ordering::Acquire);
+        let window = (self.slots.len() as u64).min(max as u64).min(head);
+        let mut out = Vec::with_capacity(window as usize);
+        for s in head - window..head {
+            if let Some(ev) = self.read_slot(s) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..32u32 {
+            if let Some(k) = TraceKind::from_code(code) {
+                assert_eq!(k.code(), code);
+                assert!(!k.label().is_empty());
+            }
+        }
+        assert_eq!(TraceKind::from_code(0), None);
+        assert_eq!(TraceKind::from_code(17), None);
+        assert_eq!(TraceKind::from_code(u32::MAX), None);
+    }
+
+    #[test]
+    fn emits_and_snapshots_in_order() {
+        let ring = TraceRing::new(8);
+        assert!(ring.enabled());
+        for i in 0..5u64 {
+            ring.emit(TraceEvent {
+                conn: i,
+                shard: i as u32,
+                fingerprint: 100 + i,
+                ..TraceEvent::new(TraceKind::FrameAnswered)
+            });
+        }
+        let evs = ring.snapshot(100);
+        assert_eq!(evs.len(), 5);
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.seq, i as u64);
+            assert_eq!(ev.conn, i as u64);
+            assert_eq!(ev.fingerprint, 100 + i as u64);
+            assert_eq!(ev.kind, TraceKind::FrameAnswered);
+        }
+        assert!(evs.windows(2).all(|w| w[1].ts_ns >= w[0].ts_ns));
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.overwritten(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_most_recent_and_counts_overwrites() {
+        let ring = TraceRing::new(4);
+        for i in 0..11u64 {
+            ring.emit(TraceEvent { detail: i, ..TraceEvent::new(TraceKind::StoreOp) });
+        }
+        let evs = ring.snapshot(100);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs.iter().map(|e| e.detail).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        assert_eq!(ring.overwritten(), 7);
+        // `max` trims from the oldest side.
+        let last2 = ring.snapshot(2);
+        assert_eq!(last2.iter().map(|e| e.detail).collect::<Vec<_>>(), vec![9, 10]);
+    }
+
+    #[test]
+    fn capacity_rounds_up_and_zero_disables() {
+        assert_eq!(TraceRing::new(5).capacity(), 8);
+        let off = TraceRing::new(0);
+        assert!(!off.enabled());
+        off.emit(TraceEvent::new(TraceKind::ConnAccepted));
+        assert_eq!(off.recorded(), 0);
+        assert!(off.snapshot(10).is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_yield_torn_events() {
+        let ring = std::sync::Arc::new(TraceRing::new(32));
+        let writers = 4;
+        let per = 5_000u64;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        // fingerprint is derived from detail so a torn
+                        // mix of two events is detectable below.
+                        let detail = w * per + i;
+                        ring.emit(TraceEvent {
+                            detail,
+                            fingerprint: detail.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            ..TraceEvent::new(TraceKind::FrameAnswered)
+                        });
+                    }
+                });
+            }
+            let ring = std::sync::Arc::clone(&ring);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    for ev in ring.snapshot(32) {
+                        assert_eq!(
+                            ev.fingerprint,
+                            ev.detail.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            "torn event escaped the seqlock check"
+                        );
+                    }
+                }
+            });
+        });
+        assert_eq!(ring.recorded(), writers * per);
+    }
+}

@@ -23,6 +23,8 @@
 //! | 5 `Shutdown` | — | — |
 //! | 6 `Metrics` | — | counters + latency percentiles + per-shard records (see [`MetricsReport`]) |
 //! | 7 `Rollback` | shard `u32`, epoch `u64` | epoch `u64` (the re-installed snapshot's new serving epoch) |
+//! | 8 `Trace` | max `u32` | count `u32`, fixed 68-byte [`TraceEvent`] records |
+//! | 9 `MetricsText` | — | Prometheus-style UTF-8 exposition (`u32` len + bytes) |
 //!
 //! An error response carries status `1` and a UTF-8 message instead of
 //! the ok payload. Status `2` is `Overloaded` — an empty-payload,
@@ -34,6 +36,8 @@
 use std::sync::Arc;
 
 use dpsc_private_count::codec::{fnv1a, Cursor, DecodeError};
+
+use crate::trace::{TraceEvent, TraceKind};
 
 /// Magic opening every request body ("DP Serve, Query direction").
 pub const MAGIC_REQUEST: [u8; 4] = *b"DPSQ";
@@ -59,6 +63,11 @@ const OP_LOAD_SNAPSHOT: u8 = 4;
 const OP_SHUTDOWN: u8 = 5;
 const OP_METRICS: u8 = 6;
 const OP_ROLLBACK: u8 = 7;
+const OP_TRACE: u8 = 8;
+const OP_METRICS_TEXT: u8 = 9;
+
+/// Wire size of one [`TraceEvent`] record inside a `Trace` response.
+const TRACE_EVENT_REC: usize = 8 * 7 + 4 * 3;
 
 /// Response status bytes.
 const STATUS_OK: u8 = 0;
@@ -124,6 +133,19 @@ pub enum Request {
         /// `LoadSnapshot`/`Stats` while it was resident.
         epoch: u64,
     },
+    /// Snapshot the most recent trace events from the daemon's ring
+    /// buffer (see [`crate::trace::TraceRing`]). Read-only and
+    /// non-destructive: the ring is not drained, so the op is idempotent
+    /// and safe to retry.
+    Trace {
+        /// Upper bound on returned events (further capped by the ring's
+        /// capacity).
+        max: u32,
+    },
+    /// The [`MetricsReport`] rendered as a Prometheus-style text
+    /// exposition — scrapeable without speaking the binary protocol
+    /// beyond this one op.
+    MetricsText,
 }
 
 /// A response frame, decoded.
@@ -155,13 +177,28 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`].
     Shutdown,
-    /// Answer to [`Request::Metrics`].
-    Metrics(MetricsReport),
+    /// Answer to [`Request::Metrics`]. Boxed: the report (per-op
+    /// latencies and all) dwarfs every other variant, and metrics is a
+    /// rare admin op — one allocation keeps the common `Response` small.
+    Metrics(Box<MetricsReport>),
     /// Answer to [`Request::Rollback`].
     Rollback {
         /// The new serving epoch the retained snapshot was re-installed
         /// under (strictly increasing, like every install).
         epoch: u64,
+    },
+    /// Answer to [`Request::Trace`]: the most recent events in ascending
+    /// sequence order. Empty when tracing is disabled
+    /// (`trace_capacity = 0`).
+    Trace {
+        /// Drained event copies (fingerprints and lengths only — never
+        /// pattern bytes).
+        events: Vec<TraceEvent>,
+    },
+    /// Answer to [`Request::MetricsText`].
+    MetricsText {
+        /// The exposition text (`# HELP`/`# TYPE` + `dpsc_*` samples).
+        text: String,
     },
     /// The daemon's admission bound is hit: the request was *not*
     /// executed and the connection closes after this frame. Retryable by
@@ -198,14 +235,19 @@ pub struct OpCounts {
     pub metrics: u64,
     /// `Shutdown` frames honored.
     pub shutdown: u64,
+    /// `Trace` frames answered.
+    pub trace: u64,
+    /// `MetricsText` frames answered.
+    pub metrics_text: u64,
     /// Error responses sent.
     pub errors: u64,
 }
 
-/// One resident shard's identity inside [`MetricsReport`]: just enough
-/// for an operator to tell *what* is serving (epoch) and *how big* it is
-/// on the wire; the full utility bounds stay on the `Stats` op.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One resident shard's identity and serving profile inside
+/// [`MetricsReport`]: *what* is serving (epoch), *how big* it is on the
+/// wire, and how fast its requests complete; the full utility bounds
+/// stay on the `Stats` op.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetricsShard {
     /// Corpus id.
     pub shard_id: u32,
@@ -213,6 +255,50 @@ pub struct MetricsShard {
     pub epoch: u64,
     /// Size of the resident snapshot's wire encoding in bytes.
     pub serialized_len: u64,
+    /// Requests answered against this shard (any op that routes to it).
+    pub ops: u64,
+    /// Median service latency of this shard's requests, bucket
+    /// resolution (0 when none were recorded).
+    pub latency_p50_ns: f64,
+    /// 99th-percentile service latency of this shard's requests.
+    pub latency_p99_ns: f64,
+}
+
+/// Latency percentiles of one request kind, from its dedicated
+/// fixed-bucket histogram (bucket resolution, like the global pair).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpLatency {
+    /// Median service latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile service latency in nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// Per-op latency percentiles inside [`MetricsReport`] — one
+/// [`OpLatency`] per request kind, so a slow `LoadSnapshot` no longer
+/// poisons the readable `Query` p99.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpLatencies {
+    /// `Query` latency percentiles.
+    pub query: OpLatency,
+    /// `QueryBatch` latency percentiles.
+    pub query_batch: OpLatency,
+    /// `Contains` latency percentiles.
+    pub contains: OpLatency,
+    /// `Stats` latency percentiles.
+    pub stats: OpLatency,
+    /// `LoadSnapshot` latency percentiles.
+    pub load_snapshot: OpLatency,
+    /// `Rollback` latency percentiles.
+    pub rollback: OpLatency,
+    /// `Metrics` latency percentiles.
+    pub metrics: OpLatency,
+    /// `Shutdown` latency percentiles.
+    pub shutdown: OpLatency,
+    /// `Trace` latency percentiles.
+    pub trace: OpLatency,
+    /// `MetricsText` latency percentiles.
+    pub metrics_text: OpLatency,
 }
 
 /// The [`Response::Metrics`] body: a point-in-time snapshot of the
@@ -243,12 +329,49 @@ pub struct MetricsReport {
     /// Successful `Rollback` re-installs over the daemon's lifetime.
     pub rollbacks_total: u64,
     /// `patterns_total` over uptime: the lifetime average served qps.
+    /// Decays toward 0 on an idle daemon — use `qps_window` for "what is
+    /// the daemon doing *now*".
     pub qps: f64,
+    /// Windowed throughput: Δ`patterns_total` / Δuptime between this
+    /// report and the previous one served by the same daemon. The first
+    /// report's window spans the full uptime (equal to `qps`); an idle
+    /// window reports 0 without dragging the lifetime average around.
+    pub qps_window: f64,
     /// Median per-request service latency (answer computation, network
     /// excluded) from the fixed-bucket histogram — bucket resolution.
+    /// p50 and p99 come from one consistent histogram snapshot.
     pub latency_p50_ns: f64,
-    /// 99th-percentile service latency, same histogram.
+    /// 99th-percentile service latency, same histogram snapshot.
     pub latency_p99_ns: f64,
+    /// Per-op latency percentiles (each op's own histogram).
+    pub op_latency: OpLatencies,
+    /// Nanoseconds the readiness event loop spent blocked in
+    /// `epoll_wait` (0 under the thread-pool core).
+    pub loop_wait_ns: u64,
+    /// Nanoseconds the readiness event loop spent servicing readiness
+    /// events (0 under the thread-pool core).
+    pub loop_busy_ns: u64,
+    /// `loop_busy_ns / (loop_wait_ns + loop_busy_ns)` — event-loop
+    /// utilization in [0, 1]; 0 when neither was recorded.
+    pub loop_utilization: f64,
+    /// Median accept-to-first-response latency: connection admission to
+    /// the first byte of its first response handed to the socket layer.
+    pub accept_to_first_p50_ns: f64,
+    /// 99th percentile of the same, one consistent snapshot.
+    pub accept_to_first_p99_ns: f64,
+    /// Times write backpressure parked a connection's reads (pending
+    /// output crossed the high-water mark).
+    pub parks_total: u64,
+    /// Times a parked connection resumed reading (output drained).
+    pub unparks_total: u64,
+    /// Requests that exceeded the slow-op threshold (0 when disabled).
+    pub slow_ops_total: u64,
+    /// Configured slow-op threshold in nanoseconds (0 = disabled).
+    pub slow_op_threshold_ns: u64,
+    /// Trace events ever emitted (including overwritten ones).
+    pub trace_events_total: u64,
+    /// Trace events no longer retrievable because the ring lapped them.
+    pub trace_overwritten_total: u64,
     /// Query-cache counters (same numbers `Stats` reports).
     pub cache: CacheStats,
     /// `hits / (hits + misses)`, 0 when the cache is untouched.
@@ -418,6 +541,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             push_u32(&mut body, *shard);
             push_u64(&mut body, *epoch);
         }
+        Request::Trace { max } => {
+            body.push(OP_TRACE);
+            push_u32(&mut body, *max);
+        }
+        Request::MetricsText => body.push(OP_METRICS_TEXT),
     }
     seal(body)
 }
@@ -468,6 +596,8 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         OP_SHUTDOWN => Request::Shutdown,
         OP_METRICS => Request::Metrics,
         OP_ROLLBACK => Request::Rollback { shard: cur.u32()?, epoch: cur.u64()? },
+        OP_TRACE => Request::Trace { max: cur.u32()? },
+        OP_METRICS_TEXT => Request::MetricsText,
         other => {
             return Err(DecodeError::BadField {
                 field: "opcode",
@@ -543,6 +673,26 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     body.push(OP_ROLLBACK);
                     push_u64(&mut body, *epoch);
                 }
+                Response::Trace { events } => {
+                    body.push(OP_TRACE);
+                    push_u32(&mut body, events.len() as u32);
+                    for ev in events {
+                        push_u64(&mut body, ev.seq);
+                        push_u64(&mut body, ev.ts_ns);
+                        push_u32(&mut body, ev.kind.code());
+                        push_u64(&mut body, ev.conn);
+                        push_u32(&mut body, ev.shard);
+                        push_u64(&mut body, ev.epoch);
+                        push_u64(&mut body, ev.fingerprint);
+                        push_u32(&mut body, ev.len);
+                        push_u64(&mut body, ev.dur_ns);
+                        push_u64(&mut body, ev.detail);
+                    }
+                }
+                Response::MetricsText { text } => {
+                    body.push(OP_METRICS_TEXT);
+                    push_pattern(&mut body, text.as_bytes());
+                }
                 Response::Metrics(m) => {
                     body.push(OP_METRICS);
                     push_u64(&mut body, m.uptime_ns);
@@ -556,6 +706,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     push_u64(&mut body, m.ops.rollback);
                     push_u64(&mut body, m.ops.metrics);
                     push_u64(&mut body, m.ops.shutdown);
+                    push_u64(&mut body, m.ops.trace);
+                    push_u64(&mut body, m.ops.metrics_text);
                     push_u64(&mut body, m.ops.errors);
                     push_u64(&mut body, m.patterns_total);
                     push_u64(&mut body, m.overloaded_total);
@@ -564,8 +716,35 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     push_u64(&mut body, m.recoveries_total);
                     push_u64(&mut body, m.rollbacks_total);
                     push_f64(&mut body, m.qps);
+                    push_f64(&mut body, m.qps_window);
                     push_f64(&mut body, m.latency_p50_ns);
                     push_f64(&mut body, m.latency_p99_ns);
+                    for ol in [
+                        &m.op_latency.query,
+                        &m.op_latency.query_batch,
+                        &m.op_latency.contains,
+                        &m.op_latency.stats,
+                        &m.op_latency.load_snapshot,
+                        &m.op_latency.rollback,
+                        &m.op_latency.metrics,
+                        &m.op_latency.shutdown,
+                        &m.op_latency.trace,
+                        &m.op_latency.metrics_text,
+                    ] {
+                        push_f64(&mut body, ol.p50_ns);
+                        push_f64(&mut body, ol.p99_ns);
+                    }
+                    push_u64(&mut body, m.loop_wait_ns);
+                    push_u64(&mut body, m.loop_busy_ns);
+                    push_f64(&mut body, m.loop_utilization);
+                    push_f64(&mut body, m.accept_to_first_p50_ns);
+                    push_f64(&mut body, m.accept_to_first_p99_ns);
+                    push_u64(&mut body, m.parks_total);
+                    push_u64(&mut body, m.unparks_total);
+                    push_u64(&mut body, m.slow_ops_total);
+                    push_u64(&mut body, m.slow_op_threshold_ns);
+                    push_u64(&mut body, m.trace_events_total);
+                    push_u64(&mut body, m.trace_overwritten_total);
                     push_u64(&mut body, m.cache.hits);
                     push_u64(&mut body, m.cache.misses);
                     push_u64(&mut body, m.cache.entries);
@@ -576,6 +755,9 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                         push_u32(&mut body, s.shard_id);
                         push_u64(&mut body, s.epoch);
                         push_u64(&mut body, s.serialized_len);
+                        push_u64(&mut body, s.ops);
+                        push_f64(&mut body, s.latency_p50_ns);
+                        push_f64(&mut body, s.latency_p99_ns);
                     }
                 }
                 Response::Error { .. } | Response::Overloaded => unreachable!("handled above"),
@@ -676,6 +858,8 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                     rollback: cur.u64()?,
                     metrics: cur.u64()?,
                     shutdown: cur.u64()?,
+                    trace: cur.u64()?,
+                    metrics_text: cur.u64()?,
                     errors: cur.u64()?,
                 };
                 let patterns_total = cur.u64()?;
@@ -685,8 +869,36 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 let recoveries_total = cur.u64()?;
                 let rollbacks_total = cur.u64()?;
                 let qps = cur.f64()?;
+                let qps_window = cur.f64()?;
                 let latency_p50_ns = cur.f64()?;
                 let latency_p99_ns = cur.f64()?;
+                let mut ol = [OpLatency::default(); 10];
+                for o in ol.iter_mut() {
+                    *o = OpLatency { p50_ns: cur.f64()?, p99_ns: cur.f64()? };
+                }
+                let op_latency = OpLatencies {
+                    query: ol[0],
+                    query_batch: ol[1],
+                    contains: ol[2],
+                    stats: ol[3],
+                    load_snapshot: ol[4],
+                    rollback: ol[5],
+                    metrics: ol[6],
+                    shutdown: ol[7],
+                    trace: ol[8],
+                    metrics_text: ol[9],
+                };
+                let loop_wait_ns = cur.u64()?;
+                let loop_busy_ns = cur.u64()?;
+                let loop_utilization = cur.f64()?;
+                let accept_to_first_p50_ns = cur.f64()?;
+                let accept_to_first_p99_ns = cur.f64()?;
+                let parks_total = cur.u64()?;
+                let unparks_total = cur.u64()?;
+                let slow_ops_total = cur.u64()?;
+                let slow_op_threshold_ns = cur.u64()?;
+                let trace_events_total = cur.u64()?;
+                let trace_overwritten_total = cur.u64()?;
                 let cache = CacheStats {
                     hits: cur.u64()?,
                     misses: cur.u64()?,
@@ -695,7 +907,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 };
                 let cache_hit_rate = cur.f64()?;
                 let count = cur.u32()? as usize;
-                const METRICS_SHARD_REC: usize = 4 + 8 + 8;
+                const METRICS_SHARD_REC: usize = 4 + 8 + 8 + 8 + 8 + 8;
                 if count > cur.remaining() / METRICS_SHARD_REC {
                     return Err(DecodeError::BadField {
                         field: "metrics shard count",
@@ -708,9 +920,12 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                         shard_id: cur.u32()?,
                         epoch: cur.u64()?,
                         serialized_len: cur.u64()?,
+                        ops: cur.u64()?,
+                        latency_p50_ns: cur.f64()?,
+                        latency_p99_ns: cur.f64()?,
                     });
                 }
-                Response::Metrics(MetricsReport {
+                Response::Metrics(Box::new(MetricsReport {
                     uptime_ns,
                     conns_accepted,
                     conns_open,
@@ -722,12 +937,65 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                     recoveries_total,
                     rollbacks_total,
                     qps,
+                    qps_window,
                     latency_p50_ns,
                     latency_p99_ns,
+                    op_latency,
+                    loop_wait_ns,
+                    loop_busy_ns,
+                    loop_utilization,
+                    accept_to_first_p50_ns,
+                    accept_to_first_p99_ns,
+                    parks_total,
+                    unparks_total,
+                    slow_ops_total,
+                    slow_op_threshold_ns,
+                    trace_events_total,
+                    trace_overwritten_total,
                     cache,
                     cache_hit_rate,
                     shards,
-                })
+                }))
+            }
+            OP_TRACE => {
+                let count = cur.u32()? as usize;
+                if count > cur.remaining() / TRACE_EVENT_REC {
+                    return Err(DecodeError::BadField {
+                        field: "trace event count",
+                        detail: format!("{count} records cannot fit the payload"),
+                    });
+                }
+                let mut events = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let seq = cur.u64()?;
+                    let ts_ns = cur.u64()?;
+                    let code = cur.u32()?;
+                    let kind = TraceKind::from_code(code).ok_or_else(|| DecodeError::BadField {
+                        field: "trace kind",
+                        detail: format!("unknown trace kind {code}"),
+                    })?;
+                    events.push(TraceEvent {
+                        seq,
+                        ts_ns,
+                        kind,
+                        conn: cur.u64()?,
+                        shard: cur.u32()?,
+                        epoch: cur.u64()?,
+                        fingerprint: cur.u64()?,
+                        len: cur.u32()?,
+                        dur_ns: cur.u64()?,
+                        detail: cur.u64()?,
+                    });
+                }
+                Response::Trace { events }
+            }
+            OP_METRICS_TEXT => {
+                let raw = take_pattern(&mut cur)?;
+                let text = String::from_utf8(raw).map_err(|_| DecodeError::BadField {
+                    field: "metrics text",
+                    detail: "not valid UTF-8".to_string(),
+                })?;
+                Response::MetricsText { text }
             }
             other => {
                 return Err(DecodeError::BadField {
@@ -788,6 +1056,9 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::Rollback { shard: 4, epoch: 17 },
+            Request::Trace { max: 256 },
+            Request::Trace { max: 0 },
+            Request::MetricsText,
         ]
     }
 
@@ -818,7 +1089,7 @@ mod tests {
             Response::Stats(ServerStats { cache: CacheStats::default(), shards: Vec::new() }),
             Response::LoadSnapshot { epoch: 3, node_count: 17 },
             Response::Shutdown,
-            Response::Metrics(MetricsReport {
+            Response::Metrics(Box::new(MetricsReport {
                 uptime_ns: 123_456_789,
                 conns_accepted: 4096,
                 conns_open: 17,
@@ -831,6 +1102,8 @@ mod tests {
                     rollback: 2,
                     metrics: 1,
                     shutdown: 0,
+                    trace: 6,
+                    metrics_text: 2,
                     errors: 5,
                 },
                 patterns_total: 330,
@@ -840,16 +1113,54 @@ mod tests {
                 recoveries_total: 3,
                 rollbacks_total: 2,
                 qps: 2_672_001.5,
+                qps_window: 1_900_432.25,
                 latency_p50_ns: 768.0,
                 latency_p99_ns: 3072.0,
+                op_latency: OpLatencies {
+                    query: OpLatency { p50_ns: 768.0, p99_ns: 1536.0 },
+                    query_batch: OpLatency { p50_ns: 6144.0, p99_ns: 24576.0 },
+                    contains: OpLatency { p50_ns: 384.0, p99_ns: 768.0 },
+                    stats: OpLatency { p50_ns: 1536.0, p99_ns: 1536.0 },
+                    load_snapshot: OpLatency { p50_ns: 786_432.0, p99_ns: 1_572_864.0 },
+                    rollback: OpLatency { p50_ns: 393_216.0, p99_ns: 393_216.0 },
+                    metrics: OpLatency { p50_ns: 1536.0, p99_ns: 1536.0 },
+                    shutdown: OpLatency::default(),
+                    trace: OpLatency { p50_ns: 3072.0, p99_ns: 6144.0 },
+                    metrics_text: OpLatency { p50_ns: 3072.0, p99_ns: 3072.0 },
+                },
+                loop_wait_ns: 90_000_000,
+                loop_busy_ns: 33_456_789,
+                loop_utilization: 33_456_789.0 / 123_456_789.0,
+                accept_to_first_p50_ns: 98_304.0,
+                accept_to_first_p99_ns: 393_216.0,
+                parks_total: 12,
+                unparks_total: 12,
+                slow_ops_total: 3,
+                slow_op_threshold_ns: 1_000_000,
+                trace_events_total: 4_321,
+                trace_overwritten_total: 225,
                 cache: CacheStats { hits: 200, misses: 130, entries: 64, capacity: 8192 },
                 cache_hit_rate: 200.0 / 330.0,
                 shards: vec![
-                    MetricsShard { shard_id: 0, epoch: 3, serialized_len: 5120 },
-                    MetricsShard { shard_id: 9, epoch: 7, serialized_len: 8008 },
+                    MetricsShard {
+                        shard_id: 0,
+                        epoch: 3,
+                        serialized_len: 5120,
+                        ops: 21,
+                        latency_p50_ns: 768.0,
+                        latency_p99_ns: 3072.0,
+                    },
+                    MetricsShard {
+                        shard_id: 9,
+                        epoch: 7,
+                        serialized_len: 8008,
+                        ops: 12,
+                        latency_p50_ns: 384.0,
+                        latency_p99_ns: 1536.0,
+                    },
                 ],
-            }),
-            Response::Metrics(MetricsReport {
+            })),
+            Response::Metrics(Box::new(MetricsReport {
                 uptime_ns: 1,
                 conns_accepted: 0,
                 conns_open: 0,
@@ -861,13 +1172,71 @@ mod tests {
                 recoveries_total: 0,
                 rollbacks_total: 0,
                 qps: 0.0,
+                qps_window: 0.0,
                 latency_p50_ns: 0.0,
                 latency_p99_ns: 0.0,
+                op_latency: OpLatencies::default(),
+                loop_wait_ns: 0,
+                loop_busy_ns: 0,
+                loop_utilization: 0.0,
+                accept_to_first_p50_ns: 0.0,
+                accept_to_first_p99_ns: 0.0,
+                parks_total: 0,
+                unparks_total: 0,
+                slow_ops_total: 0,
+                slow_op_threshold_ns: 0,
+                trace_events_total: 0,
+                trace_overwritten_total: 0,
                 cache: CacheStats::default(),
                 cache_hit_rate: 0.0,
                 shards: Vec::new(),
-            }),
+            })),
             Response::Rollback { epoch: 41 },
+            Response::Trace {
+                events: vec![
+                    TraceEvent {
+                        seq: 17,
+                        ts_ns: 1_234_567,
+                        kind: TraceKind::ConnAccepted,
+                        conn: 3,
+                        shard: crate::trace::NO_SHARD,
+                        epoch: 0,
+                        fingerprint: 0,
+                        len: 0,
+                        dur_ns: 0,
+                        detail: 0,
+                    },
+                    TraceEvent {
+                        seq: 18,
+                        ts_ns: 1_238_901,
+                        kind: TraceKind::FrameAnswered,
+                        conn: 3,
+                        shard: 2,
+                        epoch: 0,
+                        fingerprint: 0xCBF2_9CE4_8422_2325,
+                        len: 4,
+                        dur_ns: 812,
+                        detail: 0,
+                    },
+                    TraceEvent {
+                        seq: 19,
+                        ts_ns: 1_500_000,
+                        kind: TraceKind::StoreOp,
+                        conn: 0,
+                        shard: 2,
+                        epoch: 5,
+                        fingerprint: 0,
+                        len: 0,
+                        dur_ns: 44_000,
+                        detail: 5,
+                    },
+                ],
+            },
+            Response::Trace { events: Vec::new() },
+            Response::MetricsText {
+                text: "# TYPE dpsc_patterns_total counter\ndpsc_patterns_total 330\n".to_string(),
+            },
+            Response::MetricsText { text: String::new() },
             Response::Overloaded,
             Response::Error { message: "unknown shard 12".to_string() },
         ]
@@ -971,6 +1340,20 @@ mod tests {
         }
         // …and MAX_BATCH itself bounds the response inside MAX_FRAME_LEN.
         const { assert!(8 * MAX_BATCH + 64 <= MAX_FRAME_LEN) }
+    }
+
+    #[test]
+    fn unknown_trace_kind_is_rejected() {
+        let resp = Response::Trace { events: vec![TraceEvent::new(TraceKind::Flush)] };
+        let framed = encode_response(&resp);
+        // Body: magic(4) version(2) status(1) opcode(1) count(4) seq(8)
+        // ts(8) kind(4) — forge the kind code, keeping the frame valid.
+        let forged =
+            patch_and_restamp(&framed[4..], 4 + 2 + 1 + 1 + 4 + 8 + 8, &999u32.to_le_bytes());
+        match decode_response(&forged) {
+            Err(DecodeError::BadField { field: "trace kind", .. }) => {}
+            other => panic!("expected trace-kind rejection, got {other:?}"),
+        }
     }
 
     #[test]

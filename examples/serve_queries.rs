@@ -137,6 +137,43 @@ fn main() {
             shard.shard_id, shard.epoch, shard.serialized_len
         );
     }
+    println!(
+        "per-op latency: query p50 {:.0} ns / p99 {:.0} ns, query_batch p50 {:.0} ns / \
+         p99 {:.0} ns, load_snapshot p99 {:.0} ns",
+        report.op_latency.query.p50_ns,
+        report.op_latency.query.p99_ns,
+        report.op_latency.query_batch.p50_ns,
+        report.op_latency.query_batch.p99_ns,
+        report.op_latency.load_snapshot.p99_ns
+    );
+
+    // ---- Trace ring: structured events, patterns as fingerprints ----------
+    // Every frame, install and connection transition landed in the trace
+    // ring (on by default). Pattern bytes never appear — frame events
+    // carry an FNV-1a fingerprint and the length only.
+    let events = client.trace(1024).expect("trace answered");
+    println!("trace ring holds {} events; the last five:", events.len());
+    for e in events.iter().rev().take(5).rev() {
+        println!(
+            "  #{:<6} {:?} conn={} shard={} fp={:016x} len={} dur={} ns",
+            e.seq, e.kind, e.conn, e.shard, e.fingerprint, e.len, e.dur_ns
+        );
+    }
+
+    // ---- Prometheus-style text exposition ---------------------------------
+    let text = client.metrics_text().expect("exposition answered");
+    let excerpt: Vec<&str> = text
+        .lines()
+        .filter(|l| {
+            l.starts_with("dpsc_patterns_total")
+                || l.starts_with("dpsc_op_latency_ns{op=\"query_batch\"")
+                || l.starts_with("dpsc_trace_events_total")
+        })
+        .collect();
+    println!("exposition is {} lines of scrape-ready text, e.g.:", text.lines().count());
+    for l in excerpt {
+        println!("  {l}");
+    }
 
     // ---- Clean shutdown ---------------------------------------------------
     client.shutdown_server().expect("daemon acknowledges shutdown");

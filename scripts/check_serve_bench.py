@@ -203,6 +203,65 @@ def main() -> int:
                 f"({cur_metrics['patterns_total']}) disagrees with the generator "
                 f"({cur_metrics['generator_patterns_total']})"
             )
+        # Observability columns (per-op histogram + event-loop split): the
+        # current run must always carry them — the daemon instruments by
+        # default, so their absence means the layer was silently dropped.
+        for field in (
+            "op_query_batch_p50_ns",
+            "op_query_batch_p99_ns",
+            "loop_wait_ns",
+            "loop_busy_ns",
+            "loop_utilization",
+            "trace_events_total",
+        ):
+            if field not in cur_metrics:
+                failures.append(
+                    f"metrics: observability column {field!r} missing from current run"
+                )
+        if cur_metrics.get("op_query_batch_p99_ns", 0) <= 0:
+            failures.append(
+                "metrics: op_query_batch_p99_ns is not positive — the per-op "
+                "histogram recorded nothing during the load"
+            )
+        if cur_metrics.get("trace_events_total", 0) <= 0:
+            failures.append(
+                "metrics: trace_events_total is not positive — the trace ring "
+                "recorded nothing during the load"
+            )
+        util = cur_metrics.get("loop_utilization")
+        if util is not None and not (0.0 <= util <= 1.0):
+            failures.append(f"metrics: loop_utilization {util} outside [0, 1]")
+        if util is not None:
+            print(
+                f"[serve-gate] observability: op_query_batch p50 "
+                f"{cur_metrics.get('op_query_batch_p50_ns', 0):.0f} ns / p99 "
+                f"{cur_metrics.get('op_query_batch_p99_ns', 0):.0f} ns, "
+                f"loop utilization {util:.1%}, "
+                f"{cur_metrics.get('trace_events_total', 0)} trace events"
+            )
+
+    # Instrumentation overhead: the same pipelined replay against a daemon
+    # with full observability (trace ring + slow-op log, the default) and
+    # one stripped to bare counters. Observability must stay effectively
+    # free: the gap is gated at 5% of counters-only throughput regardless
+    # of max_slowdown. Tolerated as absent only in older baselines.
+    MAX_OVERHEAD_FRAC = 0.05
+    cur_over = current.get("overhead")
+    if cur_over is None:
+        failures.append("overhead: instrumentation-overhead section missing from current run")
+    else:
+        frac = cur_over["overhead_frac"]
+        status = "OK" if frac <= MAX_OVERHEAD_FRAC else "REGRESSION"
+        print(
+            f"[serve-gate] overhead: {cur_over['instrumented_qps']:.0f} qps instrumented vs "
+            f"{cur_over['counters_only_qps']:.0f} qps counters-only "
+            f"({frac:+.2%} cost, limit {MAX_OVERHEAD_FRAC:.0%}) {status}"
+        )
+        if frac > MAX_OVERHEAD_FRAC:
+            failures.append(
+                f"overhead: observability costs {frac:.2%} of throughput "
+                f"(limit {MAX_OVERHEAD_FRAC:.0%})"
+            )
 
     # Degradation counters (overload sheds, deadline evictions, idle
     # reaps, rollbacks): each daemon counter must equal what the

@@ -82,7 +82,8 @@ pub mod prelude {
     };
     pub use dpsc_serve::{
         Client, ClientConfig, ClientError, CoreKind, MetricsReport, RetryPolicy, Server,
-        ServerConfig, ServerHandle, ShardManager, ShutdownPolicy, SnapshotStore,
+        ServerConfig, ServerHandle, ShardManager, ShutdownPolicy, SnapshotStore, TraceEvent,
+        TraceKind,
     };
     pub use dpsc_strkit::alphabet::{Alphabet, Database};
     pub use dpsc_textindex::CorpusIndex;

@@ -944,3 +944,324 @@ fn retry_policy_reconnects_after_overload_and_answers_correctly() {
     assert_eq!(v.to_bits(), gen.query(b"bbb").to_bits(), "retried answer is bit-identical");
     handle.shutdown();
 }
+
+/// The `Trace` wire op round-trips on both cores: the drained events are
+/// dense and ordered, frame events carry the connection id, shard,
+/// pattern fingerprint, and opcode that this client's traffic implies,
+/// the drain never sees its own frame, and a second drain proves the
+/// ring is non-destructive.
+#[test]
+fn trace_op_round_trips_with_exact_frame_events() {
+    use dp_substring_counting::private_count::codec::fnv1a;
+    use dp_substring_counting::serve::OpKind;
+
+    let gen = synthetic(17.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig { core, ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+
+        client.query(0, b"abc").expect("query answered");
+        client.contains(0, b"ab").expect("contains answered");
+        let _ = client.query(77, b"zz").expect_err("unknown shard errors");
+
+        let events = client.trace(1024).expect("trace drains");
+        assert!(!events.is_empty(), "default config records events ({core:?})");
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1, "snapshot is dense and ordered ({core:?})");
+            assert!(w[1].ts_ns >= w[0].ts_ns, "timestamps are monotone ({core:?})");
+        }
+
+        // Exactly one admitted connection; its id threads through every
+        // frame event below.
+        let accepted: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind == TraceKind::ConnAccepted).collect();
+        assert_eq!(accepted.len(), 1, "({core:?})");
+        let conn = accepted[0].conn;
+        assert!(conn > 0, "connection ids are dense from 1 ({core:?})");
+
+        let q = events
+            .iter()
+            .find(|e| {
+                e.kind == TraceKind::FrameAnswered && e.detail == OpKind::Query.wire_code() as u64
+            })
+            .expect("query frame traced");
+        assert_eq!(q.conn, conn, "({core:?})");
+        assert_eq!(q.shard, 0, "({core:?})");
+        assert_eq!(q.fingerprint, fnv1a(b"abc"), "fingerprint, never bytes ({core:?})");
+        assert_eq!(q.len, 3, "length, never content ({core:?})");
+        assert!(q.dur_ns > 0, "service latency recorded ({core:?})");
+
+        let c = events
+            .iter()
+            .find(|e| {
+                e.kind == TraceKind::FrameAnswered
+                    && e.detail == OpKind::Contains.wire_code() as u64
+            })
+            .expect("contains frame traced");
+        assert_eq!((c.fingerprint, c.len), (fnv1a(b"ab"), 2), "({core:?})");
+
+        // The decoded-request error: a FrameError carrying its opcode.
+        let errs: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind == TraceKind::FrameError).collect();
+        assert_eq!(errs.len(), 1, "({core:?})");
+        assert_eq!(errs[0].detail, OpKind::Query.wire_code() as u64, "({core:?})");
+        assert_eq!(errs[0].conn, conn, "({core:?})");
+
+        // A drain snapshots the ring before its own frame lands…
+        let own = |evs: &[TraceEvent]| {
+            evs.iter()
+                .filter(|e| {
+                    e.kind == TraceKind::FrameAnswered
+                        && e.detail == OpKind::Trace.wire_code() as u64
+                })
+                .count()
+        };
+        assert_eq!(own(&events), 0, "a drain never sees itself ({core:?})");
+        // …and is non-destructive: a second drain re-reads everything
+        // plus exactly the first drain's own frame.
+        let again = client.trace(1024).expect("second drain");
+        let again_seqs: Vec<u64> = again.iter().map(|e| e.seq).collect();
+        assert!(
+            events.iter().all(|e| again_seqs.contains(&e.seq)),
+            "drains are non-destructive ({core:?})"
+        );
+        assert_eq!(own(&again), 1, "({core:?})");
+
+        // Counters reconcile with the drained events.
+        let report = client.metrics().expect("metrics");
+        assert_eq!(report.ops.errors, errs.len() as u64, "({core:?})");
+        assert_eq!(report.ops.trace, 2, "({core:?})");
+        assert!(report.trace_events_total >= again.len() as u64, "({core:?})");
+        assert_eq!(report.trace_overwritten_total, 0, "nothing wrapped ({core:?})");
+        assert!(report.op_latency.query.p50_ns > 0.0, "per-op p50 live ({core:?})");
+        assert!(report.op_latency.query.p99_ns >= report.op_latency.query.p50_ns, "({core:?})");
+        assert!(report.op_latency.trace.p99_ns > 0.0, "trace op has its own histogram ({core:?})");
+        handle.shutdown();
+    }
+}
+
+/// Adversarial load reconciles counters with trace events exactly, on
+/// both cores: an undecodable frame (one error + one `FrameError` with
+/// no opcode), admission sheds (`overloaded_total` == `ConnShed`
+/// events), and a slow-loris eviction (`deadline_evicted_total` ==
+/// `ConnDeadlineEvicted` events) — while accepted/closed connection
+/// counts match the lifecycle events one for one.
+#[test]
+fn adversarial_load_reconciles_counters_with_trace_events() {
+    let gen = synthetic(23.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig {
+            core,
+            workers: 2,
+            max_conns: 2,
+            read_deadline: Some(Duration::from_millis(200)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+
+        // A healthy connection that survives the whole storm.
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+        client.query(0, b"abc").expect("healthy conn answers");
+
+        // An undecodable frame: error frame back, then close.
+        {
+            let mut raw = TcpStream::connect(handle.addr()).expect("raw connect");
+            raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            raw.write_all(&[0xFF; 16]).expect("garbage written");
+            let mut junk = Vec::new();
+            raw.read_to_end(&mut junk).expect("error frame then EOF");
+            assert!(junk.len() >= 4, "an error frame came back ({core:?})");
+        }
+        // Give the close a moment to release its admission slot.
+        std::thread::sleep(Duration::from_millis(100));
+
+        // A loris takes the freed slot and stalls mid-frame.
+        let mut loris = TcpStream::connect(handle.addr()).expect("loris connects");
+        loris.write_all(b"DP").expect("partial frame sent");
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Three probes shed at the (now full) admission bound.
+        for i in 0..3 {
+            let resp = read_shed_frame(handle.addr());
+            assert!(matches!(resp, Response::Overloaded), "shed {i} got {resp:?} ({core:?})");
+        }
+
+        // Healthy traffic past the loris's deadline.
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(800) {
+            client.query(0, b"abc").expect("healthy conn keeps answering");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        loris.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut one = [0u8; 16];
+        match loris.read(&mut one) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("loris read {n} unexpected bytes ({core:?})"),
+        }
+
+        let report = client.metrics().expect("metrics");
+        let events = client.trace(1024).expect("trace drains");
+        let count = |kind: TraceKind| events.iter().filter(|e| e.kind == kind).count() as u64;
+
+        // Counter <-> trace reconciliation, category by category.
+        assert_eq!(report.ops.errors, 1, "exactly the garbage frame ({core:?})");
+        let undecoded = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::FrameError && e.detail == u64::MAX)
+            .count() as u64;
+        assert_eq!(undecoded, 1, "undecodable frames trace with no opcode ({core:?})");
+        assert_eq!(count(TraceKind::FrameError), report.ops.errors, "({core:?})");
+
+        assert_eq!(report.overloaded_total, 3, "({core:?})");
+        assert_eq!(count(TraceKind::ConnShed), report.overloaded_total, "({core:?})");
+
+        assert_eq!(report.deadline_evicted_total, 1, "({core:?})");
+        assert_eq!(
+            count(TraceKind::ConnDeadlineEvicted),
+            report.deadline_evicted_total,
+            "({core:?})"
+        );
+        assert_eq!(report.idle_reaped_total, 0, "({core:?})");
+        assert_eq!(count(TraceKind::ConnIdleReaped), 0, "({core:?})");
+
+        // Lifecycle events match the connection counters one for one:
+        // healthy + garbage + loris accepted (sheds never admit), and
+        // everyone but the healthy conn has a ConnClosed.
+        assert_eq!(report.conns_accepted, 3, "({core:?})");
+        assert_eq!(count(TraceKind::ConnAccepted), report.conns_accepted, "({core:?})");
+        assert_eq!(
+            count(TraceKind::ConnClosed),
+            report.conns_accepted - report.conns_open,
+            "({core:?})"
+        );
+        handle.shutdown();
+    }
+}
+
+/// A wire rollback leaves an exact durable-store audit trail in the
+/// trace on both cores: six `StoreOp` crash points per full persist, two
+/// `PersistCommitted`, one `RollbackCommitted` whose `detail` names the
+/// epoch rolled back to — and `rollbacks_total` reconciles with it.
+#[test]
+fn rollback_reconciles_counters_with_store_trace_events() {
+    let gen_a = synthetic(10.0);
+    let gen_b = synthetic(20.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let dir = std::env::temp_dir()
+            .join(format!("dpsc-trace-rollback-{}-{core:?}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manager = Arc::new(ShardManager::new());
+        let config = ServerConfig { core, store_dir: Some(dir.clone()), ..ServerConfig::default() };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+
+        let e1 = client.load_snapshot(0, &gen_a.to_bytes()).expect("A installs");
+        let e2 = client.load_snapshot(0, &gen_b.to_bytes()).expect("B installs");
+        let e3 = client.rollback(0, e1).expect("rollback to a retained epoch");
+        assert!(e3 > e2, "rollback is append-only ({core:?})");
+
+        let report = client.metrics().expect("metrics");
+        let events = client.trace(1024).expect("trace drains");
+
+        // Two full persists: each walks all six mutating store ops in
+        // order. The rollback re-commits an existing payload, so it only
+        // touches the manifest (ops 4 and 5).
+        for op in 0u64..=3 {
+            let n =
+                events.iter().filter(|e| e.kind == TraceKind::StoreOp && e.detail == op).count();
+            assert_eq!(n, 2, "payload op {op} runs once per full persist ({core:?})");
+        }
+        for op in 4u64..=5 {
+            let n =
+                events.iter().filter(|e| e.kind == TraceKind::StoreOp && e.detail == op).count();
+            assert_eq!(n, 3, "manifest op {op} also runs for the rollback ({core:?})");
+        }
+        let persists: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == TraceKind::PersistCommitted)
+            .map(|e| e.epoch)
+            .collect();
+        assert_eq!(persists, vec![e1, e2], "({core:?})");
+
+        let rollbacks: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind == TraceKind::RollbackCommitted).collect();
+        assert_eq!(rollbacks.len() as u64, report.rollbacks_total, "({core:?})");
+        assert_eq!(report.rollbacks_total, 1, "({core:?})");
+        assert_eq!(rollbacks[0].shard, 0, "({core:?})");
+        assert_eq!(rollbacks[0].epoch, e3, "the fresh epoch ({core:?})");
+        assert_eq!(rollbacks[0].detail, e1, "detail names the epoch rolled back to ({core:?})");
+
+        // Every install (two loads + the rollback's re-install) traced.
+        let installs: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind == TraceKind::SnapshotInstalled).collect();
+        assert_eq!(installs.len(), 3, "({core:?})");
+        assert!(
+            installs.iter().any(|e| e.epoch == e3 && e.detail == e1),
+            "rollback install names its source epoch ({core:?})"
+        );
+        assert_eq!(report.ops.rollback, 1, "({core:?})");
+        assert_eq!(report.ops.load_snapshot, 2, "({core:?})");
+        assert!(report.op_latency.rollback.p99_ns > 0.0, "({core:?})");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The slow-op log end to end on both cores: with a 1 ns threshold every
+/// successful op is slow, each `SlowOp` event carries the pattern
+/// fingerprint and the threshold, errors never enter the log, and the
+/// text exposition serves the same counter over the wire.
+#[test]
+fn slow_op_log_reconciles_and_exposes_over_the_wire() {
+    use dp_substring_counting::private_count::codec::fnv1a;
+
+    let gen = synthetic(29.0);
+    for core in [CoreKind::Readiness, CoreKind::ThreadPool] {
+        let manager = Arc::new(ShardManager::new());
+        manager.install(0, gen.clone(), 0);
+        let config = ServerConfig {
+            core,
+            slow_op_threshold: Some(Duration::from_nanos(1)),
+            ..ServerConfig::default()
+        };
+        let handle = Server::spawn(config, manager).expect("daemon binds");
+        let mut client = Client::connect(handle.addr()).expect("client connects");
+
+        for _ in 0..3 {
+            client.query(0, b"aba").expect("query answered");
+        }
+        let _ = client.query(77, b"zz").expect_err("unknown shard errors");
+
+        let report = client.metrics().expect("metrics");
+        assert_eq!(report.slow_op_threshold_ns, 1, "({core:?})");
+        assert_eq!(report.slow_ops_total, 3, "errors never enter the slow-op log ({core:?})");
+
+        let events = client.trace(1024).expect("trace drains");
+        let slow: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind == TraceKind::SlowOp).collect();
+        // The three queries, plus the Metrics op that landed after its
+        // own report snapshot.
+        assert_eq!(slow.len(), 4, "({core:?})");
+        assert!(
+            slow.iter().take(3).all(|e| e.fingerprint == fnv1a(b"aba") && e.len == 3),
+            "slow-op entries carry fingerprints and lengths only ({core:?})"
+        );
+        assert!(slow.iter().all(|e| e.detail == 1), "detail is the threshold ({core:?})");
+
+        // The exposition reports the same counter (3 queries + Metrics +
+        // Trace landed by the time MetricsText snapshots).
+        let text = client.metrics_text().expect("exposition answered");
+        assert!(text.contains("dpsc_slow_ops_total 5"), "({core:?}):\n{text}");
+        assert!(text.contains("dpsc_slow_op_threshold_ns 1"), "({core:?}):\n{text}");
+        assert!(
+            text.contains("# TYPE dpsc_op_latency_ns summary"),
+            "per-op summaries exposed ({core:?})"
+        );
+        handle.shutdown();
+    }
+}

@@ -9,7 +9,10 @@ use dp_substring_counting::prelude::*;
 use dp_substring_counting::serve::wire::{
     decode_request, decode_response, encode_request, encode_response, frame_len,
 };
-use dp_substring_counting::serve::{CacheStats, Request, Response, ServerStats, ShardStats};
+use dp_substring_counting::serve::{
+    CacheStats, MetricsReport, MetricsShard, OpCounts, OpLatencies, OpLatency, Request, Response,
+    ServerStats, ShardStats, NO_SHARD,
+};
 use dp_substring_counting::workloads::markov_corpus;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +40,9 @@ fn real_requests() -> Vec<Request> {
         Request::Stats,
         Request::LoadSnapshot { shard: 3, snapshot: snapshot.into() },
         Request::Rollback { shard: 3, epoch: 0xDEAD_BEEF_u64 },
+        Request::Metrics,
+        Request::Trace { max: 512 },
+        Request::MetricsText,
         Request::Shutdown,
     ]
 }
@@ -79,6 +85,108 @@ fn real_responses() -> Vec<Response> {
         }),
         Response::LoadSnapshot { epoch: 8, node_count: 12345 },
         Response::Rollback { epoch: 9 },
+        Response::Metrics(Box::new(MetricsReport {
+            uptime_ns: 98_765_432,
+            conns_accepted: 33,
+            conns_open: 4,
+            ops: OpCounts {
+                query: 7,
+                query_batch: 5,
+                contains: 1,
+                stats: 1,
+                load_snapshot: 2,
+                rollback: 1,
+                metrics: 1,
+                shutdown: 0,
+                trace: 3,
+                metrics_text: 1,
+                errors: 2,
+            },
+            patterns_total: 199,
+            overloaded_total: 1,
+            idle_reaped_total: 0,
+            deadline_evicted_total: 1,
+            recoveries_total: 1,
+            rollbacks_total: 1,
+            qps: 1234.5,
+            qps_window: 987.25,
+            latency_p50_ns: 768.0,
+            latency_p99_ns: 6144.0,
+            op_latency: OpLatencies {
+                query: OpLatency { p50_ns: 384.0, p99_ns: 768.0 },
+                query_batch: OpLatency { p50_ns: 3072.0, p99_ns: 12288.0 },
+                contains: OpLatency { p50_ns: 192.0, p99_ns: 384.0 },
+                stats: OpLatency::default(),
+                load_snapshot: OpLatency { p50_ns: 393_216.0, p99_ns: 786_432.0 },
+                rollback: OpLatency { p50_ns: 98_304.0, p99_ns: 98_304.0 },
+                metrics: OpLatency { p50_ns: 1536.0, p99_ns: 1536.0 },
+                shutdown: OpLatency::default(),
+                trace: OpLatency { p50_ns: 1536.0, p99_ns: 3072.0 },
+                metrics_text: OpLatency { p50_ns: 3072.0, p99_ns: 3072.0 },
+            },
+            loop_wait_ns: 60_000_000,
+            loop_busy_ns: 38_765_432,
+            loop_utilization: 38_765_432.0 / 98_765_432.0,
+            accept_to_first_p50_ns: 49_152.0,
+            accept_to_first_p99_ns: 196_608.0,
+            parks_total: 2,
+            unparks_total: 2,
+            slow_ops_total: 3,
+            slow_op_threshold_ns: 500_000,
+            trace_events_total: 87,
+            trace_overwritten_total: 0,
+            cache: CacheStats { hits: 120, misses: 79, entries: 79, capacity: 8192 },
+            cache_hit_rate: 120.0 / 199.0,
+            shards: vec![MetricsShard {
+                shard_id: 3,
+                epoch: 11,
+                serialized_len: 4096,
+                ops: 13,
+                latency_p50_ns: 768.0,
+                latency_p99_ns: 3072.0,
+            }],
+        })),
+        Response::Trace {
+            events: vec![
+                TraceEvent {
+                    seq: 0,
+                    ts_ns: 1_000,
+                    kind: TraceKind::ConnAccepted,
+                    conn: 1,
+                    shard: NO_SHARD,
+                    epoch: 0,
+                    fingerprint: 0,
+                    len: 0,
+                    dur_ns: 0,
+                    detail: 0,
+                },
+                TraceEvent {
+                    seq: 1,
+                    ts_ns: 2_500,
+                    kind: TraceKind::FrameAnswered,
+                    conn: 1,
+                    shard: 3,
+                    epoch: 11,
+                    fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                    len: 6,
+                    dur_ns: 840,
+                    detail: 0,
+                },
+                TraceEvent {
+                    seq: 2,
+                    ts_ns: 9_000,
+                    kind: TraceKind::SlowOp,
+                    conn: 1,
+                    shard: 3,
+                    epoch: 11,
+                    fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                    len: 6,
+                    dur_ns: 700_123,
+                    detail: 500_000,
+                },
+            ],
+        },
+        Response::MetricsText { text: "dpsc_patterns_total 199\ndpsc_slow_ops_total 3\n".into() },
         Response::Overloaded,
         Response::Shutdown,
         Response::Error { message: "snapshot rejected: checksum mismatch".to_string() },
